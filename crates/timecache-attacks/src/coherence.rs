@@ -1,0 +1,242 @@
+//! The invalidate+transfer coherence attack (Section VII-B of the paper).
+//!
+//! Attacker and victim run on *different cores* and share a line. The
+//! attacker flushes it (invalidating every cached copy), yields, and later
+//! loads it with a timer: if the victim wrote the line meanwhile, the load
+//! is serviced by a cache-to-cache transfer from the victim's private cache
+//! (fast-ish `remote_l1` latency); if not, it comes from DRAM. TimeCache's
+//! first-access rule already forces the DRAM wait when the attacker's s-bit
+//! is clear, collapsing both cases to the same latency.
+//!
+//! Because the two cores free-run (there is no cross-core scheduling
+//! alignment), the experiment contrasts two arms: an *active* arm with a
+//! victim continuously writing the shared line, and a *control* arm whose
+//! victim never touches it. A leaking channel shows clearly different
+//! transfer rates between the arms.
+
+use crate::analysis::Threshold;
+use crate::harness::{dual_core_system, timecache_mode, AttackOutcome};
+use std::cell::RefCell;
+use std::rc::Rc;
+use timecache_os::{DataKind, Observation, Op, Program};
+use timecache_sim::{Addr, SecurityMode};
+use timecache_workloads::layout;
+
+/// Per-round: did the load come back faster than DRAM (transfer observed)?
+pub type TransferLog = Rc<RefCell<Vec<bool>>>;
+
+/// Idle instructions between the flush and the timed load: long enough for
+/// the victim's next store (at most one DRAM round trip away) to land.
+const WAIT_INSTRS: u32 = 64;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Flush,
+    Sleep,
+    /// Idle instructions giving the free-running victim time to re-cache
+    /// the line after the flush (`i` counts down).
+    Wait(u32),
+    TimedLoad,
+    Finished,
+}
+
+/// The invalidate+transfer attacker (runs on its own core).
+pub struct CoherenceAttacker {
+    target: Addr,
+    threshold: Threshold,
+    rounds: u32,
+    round: u32,
+    phase: Phase,
+    log: TransferLog,
+    pc: Addr,
+}
+
+impl CoherenceAttacker {
+    /// Creates the attacker for a shared `target` line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rounds` is zero.
+    pub fn new(target: Addr, threshold: Threshold, rounds: u32) -> (Self, TransferLog) {
+        assert!(rounds > 0, "need at least one round");
+        let log: TransferLog = Rc::new(RefCell::new(Vec::new()));
+        (
+            CoherenceAttacker {
+                target,
+                threshold,
+                rounds,
+                round: 0,
+                phase: Phase::Flush,
+                log: Rc::clone(&log),
+                pc: 0x66A0_0000,
+            },
+            log,
+        )
+    }
+}
+
+impl Program for CoherenceAttacker {
+    fn next_op(&mut self) -> Op {
+        match self.phase {
+            Phase::Flush => {
+                self.phase = Phase::Sleep;
+                Op::Flush {
+                    pc: self.pc,
+                    target: self.target,
+                }
+            }
+            Phase::Sleep => {
+                self.phase = Phase::Wait(WAIT_INSTRS);
+                Op::Yield { pc: self.pc }
+            }
+            Phase::Wait(i) => {
+                self.phase = if i > 1 { Phase::Wait(i - 1) } else { Phase::TimedLoad };
+                Op::Instr { pc: self.pc, data: None }
+            }
+            Phase::TimedLoad => Op::Instr {
+                pc: self.pc,
+                data: Some((DataKind::Load, self.target)),
+            },
+            Phase::Finished => Op::Done,
+        }
+    }
+
+    fn observe(&mut self, obs: Observation) {
+        if self.phase == Phase::TimedLoad {
+            if let Some(latency) = obs.data_latency {
+                self.log.borrow_mut().push(self.threshold.is_hit(latency));
+                self.round += 1;
+                self.phase = if self.round >= self.rounds {
+                    Phase::Finished
+                } else {
+                    Phase::Flush
+                };
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "invalidate-transfer"
+    }
+}
+
+impl std::fmt::Debug for CoherenceAttacker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CoherenceAttacker")
+            .field("round", &self.round)
+            .finish()
+    }
+}
+
+/// A victim that writes the shared line on every instruction (active arm)
+/// or never touches it (control arm).
+#[derive(Debug)]
+struct CoherenceVictim {
+    target: Addr,
+    active: bool,
+}
+
+impl Program for CoherenceVictim {
+    fn next_op(&mut self) -> Op {
+        Op::Instr {
+            pc: 0x7790_0000,
+            data: self.active.then_some((DataKind::Store, self.target)),
+        }
+    }
+
+    fn name(&self) -> &str {
+        "coherence-victim"
+    }
+}
+
+/// Detection quality of one run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoherenceResult {
+    /// Fraction of rounds showing a transfer with an active victim.
+    pub active_transfer: f64,
+    /// Fraction of rounds showing a transfer with an idle victim.
+    pub idle_transfer: f64,
+    /// Rounds per arm.
+    pub rounds: usize,
+}
+
+impl CoherenceResult {
+    /// The channel leaks if the arms are distinguishable.
+    pub fn leaks(&self) -> bool {
+        (self.active_transfer - self.idle_transfer).abs() > 0.5
+    }
+}
+
+fn transfer_rate(security: SecurityMode, active: bool, rounds: u32) -> f64 {
+    let mut sys = dual_core_system(security);
+    let lat = sys.config().hierarchy.latencies;
+    let target = layout::SHARED_SEGMENT + 0x1_0000;
+    // "Transfer observed" = faster than DRAM.
+    let threshold = Threshold::from_cycles((lat.remote_l1 + lat.dram) / 2);
+    let (attacker, log) = CoherenceAttacker::new(target, threshold, rounds);
+    sys.spawn(
+        Box::new(CoherenceVictim { target, active }),
+        0,
+        0,
+        Some(rounds as u64 * 2_000),
+    );
+    sys.spawn(Box::new(attacker), 1, 0, None);
+    sys.run(200_000_000);
+    let transfers = log.borrow();
+    transfers.iter().filter(|&&t| t).count() as f64 / transfers.len().max(1) as f64
+}
+
+/// Runs invalidate+transfer: attacker on core 1, victim on core 0, active
+/// and control arms.
+pub fn run_coherence_attack(security: SecurityMode) -> CoherenceResult {
+    let rounds = 40;
+    CoherenceResult {
+        active_transfer: transfer_rate(security, true, rounds),
+        idle_transfer: transfer_rate(security, false, rounds),
+        rounds: rounds as usize,
+    }
+}
+
+/// Outcome rows for both modes.
+pub fn demo() -> Vec<AttackOutcome> {
+    let baseline = run_coherence_attack(SecurityMode::Baseline);
+    let defended = run_coherence_attack(timecache_mode());
+    let fmt = |r: &CoherenceResult| {
+        format!(
+            "transfer latency with active victim {:.0}%, idle {:.0}%",
+            r.active_transfer * 100.0,
+            r.idle_transfer * 100.0
+        )
+    };
+    vec![
+        AttackOutcome::new(
+            "invalidate+transfer",
+            "baseline",
+            baseline.leaks(),
+            fmt(&baseline),
+        ),
+        AttackOutcome::new(
+            "invalidate+transfer",
+            "timecache",
+            defended.leaks(),
+            fmt(&defended),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaks_in_baseline() {
+        let r = run_coherence_attack(SecurityMode::Baseline);
+        assert!(r.leaks(), "{r:?}");
+    }
+
+    #[test]
+    fn defeated_by_timecache_dram_wait() {
+        let r = run_coherence_attack(timecache_mode());
+        assert!(!r.leaks(), "{r:?}");
+    }
+}

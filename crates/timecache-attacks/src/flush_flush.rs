@@ -1,0 +1,270 @@
+//! The flush+flush attack (Section VII-C of the paper).
+//!
+//! `clflush` completes faster when the line is *not* cached (the
+//! instruction aborts early), so the attacker never needs a timed load: it
+//! flushes the shared line, yields, then flushes again and times the second
+//! flush — a slow flush means the victim re-cached the line. TimeCache's
+//! s-bits do not affect flush timing; the paper's proposed mitigation is a
+//! constant-time `clflush` (dummy write-back when uncached), which this
+//! module demonstrates via
+//! [`TimeCacheConfig::with_constant_time_clflush`](timecache_core::TimeCacheConfig).
+
+use crate::harness::{single_core_system, AttackOutcome};
+use std::cell::RefCell;
+use std::rc::Rc;
+use timecache_core::TimeCacheConfig;
+use timecache_os::{DataKind, Observation, Op, Program};
+use timecache_sim::{Addr, SecurityMode};
+use timecache_workloads::layout;
+
+/// Per-round: did the timed flush run slow (victim access inferred)?
+pub type FlushLog = Rc<RefCell<Vec<u64>>>;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Reset flush (untimed).
+    Reset,
+    Sleep,
+    /// The timed flush.
+    TimedFlush,
+    Finished,
+}
+
+/// The flush+flush attacker.
+pub struct FlushFlushAttacker {
+    target: Addr,
+    rounds: u32,
+    round: u32,
+    phase: Phase,
+    log: FlushLog,
+    pc: Addr,
+}
+
+impl FlushFlushAttacker {
+    /// Creates the attacker; the log records the timed-flush latencies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rounds` is zero.
+    pub fn new(target: Addr, rounds: u32) -> (Self, FlushLog) {
+        assert!(rounds > 0, "need at least one round");
+        let log: FlushLog = Rc::new(RefCell::new(Vec::new()));
+        (
+            FlushFlushAttacker {
+                target,
+                rounds,
+                round: 0,
+                phase: Phase::Reset,
+                log: Rc::clone(&log),
+                pc: 0x66B0_0000,
+            },
+            log,
+        )
+    }
+}
+
+impl Program for FlushFlushAttacker {
+    fn next_op(&mut self) -> Op {
+        match self.phase {
+            Phase::Reset => {
+                self.phase = Phase::Sleep;
+                Op::Flush {
+                    pc: self.pc,
+                    target: self.target,
+                }
+            }
+            Phase::Sleep => {
+                self.phase = Phase::TimedFlush;
+                Op::Yield { pc: self.pc }
+            }
+            Phase::TimedFlush => Op::Flush {
+                pc: self.pc,
+                target: self.target,
+            },
+            Phase::Finished => Op::Done,
+        }
+    }
+
+    fn observe(&mut self, obs: Observation) {
+        if self.phase == Phase::TimedFlush {
+            if let Some(latency) = obs.flush_latency {
+                self.log.borrow_mut().push(latency);
+                self.round += 1;
+                // The timed flush also reset the line: go straight to sleep.
+                self.phase = if self.round >= self.rounds {
+                    Phase::Finished
+                } else {
+                    Phase::Sleep
+                };
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "flush-flush"
+    }
+}
+
+impl std::fmt::Debug for FlushFlushAttacker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlushFlushAttacker")
+            .field("round", &self.round)
+            .finish()
+    }
+}
+
+/// A victim that touches the watched line on odd wakes only, giving the
+/// attacker a known on/off pattern (same-core yields alternate windows
+/// deterministically).
+#[derive(Debug)]
+struct ToggleAccessor {
+    target: Addr,
+    wake: u64,
+    phase: u8,
+}
+
+impl Program for ToggleAccessor {
+    fn next_op(&mut self) -> Op {
+        match self.phase {
+            0 => {
+                self.phase = 1;
+                Op::Instr {
+                    pc: 0x77A0_0000,
+                    data: (self.wake % 2 == 1).then_some((DataKind::Load, self.target)),
+                }
+            }
+            _ => {
+                self.phase = 0;
+                self.wake += 1;
+                Op::Yield { pc: 0x77A0_0000 }
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "toggle-accessor"
+    }
+}
+
+/// Result of one flush+flush run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlushFlushResult {
+    /// Fraction of victim-active windows whose timed flush ran slow
+    /// (line was present).
+    pub active_slow: f64,
+    /// Fraction of idle windows whose timed flush ran slow.
+    pub idle_slow: f64,
+    /// Rounds observed.
+    pub rounds: usize,
+}
+
+impl FlushFlushResult {
+    /// The channel leaks if flush timing distinguishes active from idle
+    /// windows.
+    pub fn leaks(&self) -> bool {
+        (self.active_slow - self.idle_slow).abs() > 0.5
+    }
+}
+
+/// Runs flush+flush with a victim touching the shared line on odd wakes.
+pub fn run_flush_flush(security: SecurityMode) -> FlushFlushResult {
+    let mut sys = single_core_system(security);
+    let lat = sys.config().hierarchy.latencies;
+    let target = layout::SHARED_SEGMENT + 0x2_0000;
+
+    let rounds = 40;
+    let (attacker, log) = FlushFlushAttacker::new(target, rounds);
+    sys.spawn(Box::new(attacker), 0, 0, None);
+    sys.spawn(
+        Box::new(ToggleAccessor {
+            target,
+            wake: 0,
+            phase: 0,
+        }),
+        0,
+        0,
+        Some(rounds as u64 * 16),
+    );
+    sys.run(200_000_000);
+
+    let lats = log.borrow();
+    let slow_cut = (lat.flush_absent + lat.flush_present) / 2;
+    let (mut af, mut at, mut xf, mut xt) = (0u32, 0u32, 0u32, 0u32);
+    for (round, &l) in lats.iter().enumerate() {
+        let slow = l > slow_cut;
+        if round % 2 == 1 {
+            at += 1;
+            af += slow as u32;
+        } else {
+            xt += 1;
+            xf += slow as u32;
+        }
+    }
+    FlushFlushResult {
+        active_slow: af as f64 / at.max(1) as f64,
+        idle_slow: xf as f64 / xt.max(1) as f64,
+        rounds: lats.len(),
+    }
+}
+
+/// Outcome rows: baseline, plain TimeCache (still leaks), and TimeCache
+/// with the constant-time `clflush` mitigation.
+pub fn demo() -> Vec<AttackOutcome> {
+    let baseline = run_flush_flush(SecurityMode::Baseline);
+    let timecache = run_flush_flush(crate::harness::timecache_mode());
+    let mitigated = run_flush_flush(SecurityMode::TimeCache(
+        TimeCacheConfig::default().with_constant_time_clflush(true),
+    ));
+    let fmt = |r: &FlushFlushResult| {
+        format!(
+            "slow flush in active windows {:.0}%, idle {:.0}%",
+            r.active_slow * 100.0,
+            r.idle_slow * 100.0
+        )
+    };
+    vec![
+        AttackOutcome::new("flush+flush", "baseline", baseline.leaks(), fmt(&baseline)),
+        AttackOutcome::new(
+            "flush+flush",
+            "timecache (out of scope)",
+            timecache.leaks(),
+            fmt(&timecache),
+        ),
+        AttackOutcome::new(
+            "flush+flush",
+            "timecache + constant-time clflush",
+            mitigated.leaks(),
+            fmt(&mitigated),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaks_in_baseline() {
+        let r = run_flush_flush(SecurityMode::Baseline);
+        assert!(r.leaks(), "{r:?}");
+    }
+
+    #[test]
+    fn leaks_under_plain_timecache() {
+        // s-bits do not change clflush timing; the paper prescribes the
+        // constant-time clflush separately.
+        let r = run_flush_flush(crate::harness::timecache_mode());
+        assert!(r.leaks(), "{r:?}");
+    }
+
+    #[test]
+    fn constant_time_clflush_closes_it() {
+        let r = run_flush_flush(SecurityMode::TimeCache(
+            TimeCacheConfig::default().with_constant_time_clflush(true),
+        ));
+        assert!(!r.leaks(), "{r:?}");
+        // Every flush runs at the constant (present) latency.
+        assert_eq!(r.active_slow, 1.0);
+        assert_eq!(r.idle_slow, 1.0);
+    }
+}

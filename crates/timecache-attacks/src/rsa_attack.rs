@@ -1,0 +1,281 @@
+//! Flush+reload key extraction against the square-and-multiply RSA victim
+//! (Section VI-A.2 of the paper).
+//!
+//! The attacker probes the entry lines of the shared crypto library's
+//! Square, Multiply, and Reduce routines once per victim window (one
+//! exponent bit): *flush → yield → reload*. In the baseline the reload
+//! latencies transcribe the bit sequence — a window with a fast Multiply
+//! reload is a `1`, a window with only fast Square/Reduce reloads is a `0`.
+//! With TimeCache, the attacker's reload after a flush is always a *first
+//! access* and never fast, so every window decodes to nothing.
+
+use crate::analysis::{exponent_tail_bits, KeyRecovery, RsaRound, Threshold};
+use crate::harness::{single_core_system, AttackOutcome};
+use std::cell::RefCell;
+use std::rc::Rc;
+use timecache_os::{DataKind, Observation, Op, Program};
+use timecache_sim::{Addr, SecurityMode};
+use timecache_workloads::rsa::{rsa_code_layout, Mpi, PrimitiveOp, RsaVictim};
+
+/// Shared log of per-window probe rounds.
+pub type RoundLog = Rc<RefCell<Vec<RsaRound>>>;
+
+/// Phase of the prober's flush→yield→probe loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Flush(usize),
+    Sleep,
+    Probe(usize),
+    Finished,
+}
+
+/// The RSA attacker: probes the three routine entry lines each round.
+pub struct RsaProber {
+    /// Entry line of Square, Multiply, Reduce (probe targets).
+    probes: [Addr; 3],
+    /// All code lines to flush (every line of each routine).
+    flush_targets: Vec<Addr>,
+    threshold: Threshold,
+    rounds: u32,
+    round: u32,
+    phase: Phase,
+    current: RsaRound,
+    log: RoundLog,
+    pc: Addr,
+}
+
+impl RsaProber {
+    /// Creates a prober for `rounds` victim windows using the canonical
+    /// [`rsa_code_layout`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rounds` is zero.
+    pub fn new(threshold: Threshold, rounds: u32) -> (Self, RoundLog) {
+        assert!(rounds > 0, "need at least one round");
+        let layout = rsa_code_layout();
+        let probes = [
+            layout.probe_addr(PrimitiveOp::Square),
+            layout.probe_addr(PrimitiveOp::Multiply),
+            layout.probe_addr(PrimitiveOp::Reduce),
+        ];
+        let flush_targets = [PrimitiveOp::Square, PrimitiveOp::Multiply, PrimitiveOp::Reduce]
+            .into_iter()
+            .flat_map(|op| {
+                let base = layout.base_of(op);
+                (0..layout.lines_per_fn).map(move |i| base + i * 64)
+            })
+            .collect();
+        let log: RoundLog = Rc::new(RefCell::new(Vec::new()));
+        (
+            RsaProber {
+                probes,
+                flush_targets,
+                threshold,
+                rounds,
+                round: 0,
+                phase: Phase::Flush(0),
+                current: RsaRound::default(),
+                log: Rc::clone(&log),
+                pc: 0x6670_0000,
+            },
+            log,
+        )
+    }
+
+    fn next_pc(&mut self) -> Addr {
+        self.pc = (self.pc & !0xFF) | ((self.pc + 64) & 0xFF);
+        self.pc
+    }
+}
+
+impl Program for RsaProber {
+    fn next_op(&mut self) -> Op {
+        match self.phase {
+            Phase::Flush(i) => {
+                let pc = self.next_pc();
+                let target = self.flush_targets[i];
+                self.phase = if i + 1 < self.flush_targets.len() {
+                    Phase::Flush(i + 1)
+                } else {
+                    Phase::Sleep
+                };
+                Op::Flush { pc, target }
+            }
+            Phase::Sleep => {
+                self.phase = Phase::Probe(0);
+                self.current = RsaRound::default();
+                Op::Yield { pc: self.next_pc() }
+            }
+            Phase::Probe(i) => Op::Instr {
+                pc: self.next_pc(),
+                data: Some((DataKind::Load, self.probes[i])),
+            },
+            Phase::Finished => Op::Done,
+        }
+    }
+
+    fn observe(&mut self, obs: Observation) {
+        if let Phase::Probe(i) = self.phase {
+            if let Some(latency) = obs.data_latency {
+                let hit = self.threshold.is_hit(latency);
+                match i {
+                    0 => self.current.square = hit,
+                    1 => self.current.multiply = hit,
+                    _ => self.current.reduce = hit,
+                }
+                self.phase = if i + 1 < self.probes.len() {
+                    Phase::Probe(i + 1)
+                } else {
+                    self.log.borrow_mut().push(self.current);
+                    self.round += 1;
+                    if self.round >= self.rounds {
+                        Phase::Finished
+                    } else {
+                        Phase::Flush(0)
+                    }
+                };
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "rsa-prober"
+    }
+}
+
+impl std::fmt::Debug for RsaProber {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RsaProber")
+            .field("round", &self.round)
+            .field("rounds", &self.rounds)
+            .finish()
+    }
+}
+
+/// Result of one end-to-end key-extraction attempt.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RsaAttackResult {
+    /// Fraction of the post-MSB key bits recovered correctly.
+    pub accuracy: f64,
+    /// Windows that carried any cache signal.
+    pub decoded_windows: usize,
+    /// Total windows probed.
+    pub total_windows: usize,
+    /// The recovered bit string (None = no signal).
+    pub recovery: KeyRecovery,
+}
+
+/// Runs the full attack: an [`RsaVictim`] computing `base^key mod modulus`
+/// time-sliced against an [`RsaProber`] on one core.
+///
+/// # Panics
+///
+/// Panics if the key has fewer than 2 bits (square-and-multiply leaks
+/// nothing for shorter exponents).
+pub fn run_rsa_attack(security: SecurityMode, key: &Mpi) -> RsaAttackResult {
+    assert!(key.bit_len() >= 2, "key must have at least 2 bits");
+    let mut sys = single_core_system(security);
+    let lat = sys.config().hierarchy.latencies;
+
+    // The victim yields after every exponent bit; the attacker gets exactly
+    // one probe window per bit.
+    let windows = (key.bit_len() - 1) as u32;
+    let victim = RsaVictim::new(
+        Mpi::from_u64(0x1234_5678_9ABC_DEF1),
+        key.clone(),
+        Mpi::from_hex("f123456789abcdef0123456789abcdef"),
+        1,
+        true,
+    );
+    // The victim *fetches* the routines (they land in its L1I and the
+    // LLC); the attacker reloads them with data loads, so a successful
+    // reuse shows up at LLC latency — calibrate the threshold to separate
+    // any cache service from DRAM, as the original attack does.
+    let (prober, log) = RsaProber::new(Threshold::cross_core(&lat), windows);
+
+    sys.spawn(Box::new(prober), 0, 0, None);
+    sys.spawn(Box::new(victim), 0, 0, None);
+    sys.run(2_000_000_000);
+
+    let rounds = log.borrow();
+    let recovery = KeyRecovery::decode(&rounds);
+    let true_bits: Vec<bool> = (0..key.bit_len()).rev().map(|i| key.bit(i)).collect();
+    let tail = exponent_tail_bits(&true_bits);
+    RsaAttackResult {
+        accuracy: recovery.accuracy(&tail),
+        decoded_windows: recovery.decoded_count(),
+        total_windows: rounds.len(),
+        recovery,
+    }
+}
+
+/// Runs the attack under both modes and formats outcome rows.
+pub fn demo(key: &Mpi) -> Vec<AttackOutcome> {
+    let baseline = run_rsa_attack(SecurityMode::Baseline, key);
+    let defended = run_rsa_attack(crate::harness::timecache_mode(), key);
+    vec![
+        AttackOutcome::new(
+            "rsa flush+reload",
+            "baseline",
+            baseline.accuracy > 0.9,
+            format!(
+                "key bits recovered: {:.1}% ({} of {} windows decoded)",
+                baseline.accuracy * 100.0,
+                baseline.decoded_windows,
+                baseline.total_windows
+            ),
+        ),
+        AttackOutcome::new(
+            "rsa flush+reload",
+            "timecache",
+            defended.decoded_windows > 0,
+            format!(
+                "key bits recovered: {:.1}% ({} of {} windows decoded)",
+                defended.accuracy * 100.0,
+                defended.decoded_windows,
+                defended.total_windows
+            ),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_key() -> Mpi {
+        // 32-bit key keeps the test fast; irregular bit pattern.
+        Mpi::from_u64(0xB5C3_9A6D)
+    }
+
+    #[test]
+    fn baseline_recovers_the_key() {
+        let r = run_rsa_attack(SecurityMode::Baseline, &test_key());
+        assert_eq!(r.total_windows, 31);
+        assert!(
+            r.accuracy > 0.95,
+            "accuracy {} with {} decoded windows",
+            r.accuracy,
+            r.decoded_windows
+        );
+    }
+
+    #[test]
+    fn timecache_blinds_the_attack() {
+        let r = run_rsa_attack(crate::harness::timecache_mode(), &test_key());
+        assert_eq!(
+            r.decoded_windows, 0,
+            "no window may carry signal under TimeCache"
+        );
+        assert_eq!(r.accuracy, 0.0);
+    }
+
+    #[test]
+    fn demo_rows_report_both_modes() {
+        let rows = demo(&Mpi::from_u64(0b1011_0110_1101));
+        assert_eq!(rows.len(), 2);
+        assert!(rows[0].leaked, "{}", rows[0].detail);
+        assert!(!rows[1].leaked, "{}", rows[1].detail);
+    }
+}

@@ -1,0 +1,307 @@
+//! Spectre-V1 end to end (Section IX of the paper).
+//!
+//! Speculative-execution attacks leak *transiently* accessed data through a
+//! conventional cache side channel: the canonical Spectre-V1 gadget
+//!
+//! ```c
+//! if (idx < array_len)          // mispredicted branch
+//!     tmp = probe[secret[idx] * 64];   // transient load, result squashed
+//! ```
+//!
+//! leaves `probe[secret_byte * 64]` resident even though the architectural
+//! result is discarded; a flush+reload receiver then reads the byte. The
+//! paper's position (Section IX) is that TimeCache neutralizes the whole
+//! class by breaking the exfiltration channel rather than the speculation.
+//!
+//! The victim here models the microarchitectural effect of the gadget
+//! directly: when "called" with an out-of-bounds index it still performs
+//! the secret-indexed probe-array load (the fetch real hardware would do
+//! under misprediction) and architecturally discards it. The attacker
+//! flushes the 256-line probe array, triggers the gadget, and reloads.
+
+use crate::analysis::Threshold;
+use crate::harness::{single_core_system, timecache_mode, AttackOutcome};
+use std::cell::RefCell;
+use std::rc::Rc;
+use timecache_os::{DataKind, Observation, Op, Program};
+use timecache_sim::{Addr, SecurityMode};
+use timecache_workloads::layout;
+
+/// Probe-array base: shared memory reachable by both processes (as in the
+/// original PoC, where the probe buffer lives in a shared mapping).
+fn probe_base() -> Addr {
+    layout::SHARED_SEGMENT + 0x10_0000
+}
+
+/// The victim service: on each wake it handles one "request", running the
+/// bounds-check-bypass gadget over the next secret byte.
+#[derive(Debug)]
+struct SpectreVictim {
+    secret: Vec<u8>,
+    next: usize,
+    /// Micro-op position within the gadget (fetch secret, transient load,
+    /// yield).
+    step: u8,
+}
+
+impl Program for SpectreVictim {
+    fn next_op(&mut self) -> Op {
+        let pc = 0x77D0_0000;
+        match self.step {
+            // Architectural part: load secret[idx] from victim-private
+            // memory (the speculative window has the byte in a register).
+            0 => {
+                self.step = 1;
+                let addr = layout::private_base(60) + self.next as u64;
+                Op::Instr {
+                    pc,
+                    data: Some((DataKind::Load, addr)),
+                }
+            }
+            // Transient part: the secret-indexed probe-array touch. The
+            // branch is resolved later and the value squashed, but the
+            // line has been fetched — the cache effect this access models.
+            1 => {
+                self.step = 2;
+                let byte = self.secret[self.next % self.secret.len()] as u64;
+                Op::Instr {
+                    pc,
+                    data: Some((DataKind::Load, probe_base() + byte * layout::LINE)),
+                }
+            }
+            // Request handled: wait for the next one.
+            _ => {
+                self.step = 0;
+                self.next = (self.next + 1) % self.secret.len();
+                Op::Yield { pc }
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "spectre-victim"
+    }
+}
+
+/// Per-byte recovery log: the probe-array slot that reloaded fastest, if
+/// any slot read as cached.
+pub type ByteLog = Rc<RefCell<Vec<Option<u8>>>>;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Flush(u16),
+    Trigger,
+    Probe(u16),
+    Finished,
+}
+
+/// The Spectre receiver: flush probe array → trigger gadget → reload all
+/// 256 slots → argmin.
+pub struct SpectreReceiver {
+    threshold: Threshold,
+    bytes: u32,
+    byte: u32,
+    phase: Phase,
+    best: Option<(u8, u64)>,
+    log: ByteLog,
+    pc: Addr,
+}
+
+impl SpectreReceiver {
+    /// Creates a receiver extracting `bytes` secret bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is zero.
+    pub fn new(threshold: Threshold, bytes: u32) -> (Self, ByteLog) {
+        assert!(bytes > 0, "need at least one byte");
+        let log: ByteLog = Rc::new(RefCell::new(Vec::new()));
+        (
+            SpectreReceiver {
+                threshold,
+                bytes,
+                byte: 0,
+                phase: Phase::Flush(0),
+                best: None,
+                log: Rc::clone(&log),
+                pc: 0x6700_0000,
+            },
+            log,
+        )
+    }
+}
+
+impl Program for SpectreReceiver {
+    fn next_op(&mut self) -> Op {
+        match self.phase {
+            Phase::Flush(i) => {
+                self.phase = if i + 1 < 256 {
+                    Phase::Flush(i + 1)
+                } else {
+                    Phase::Trigger
+                };
+                Op::Flush {
+                    pc: self.pc,
+                    target: probe_base() + i as u64 * layout::LINE,
+                }
+            }
+            Phase::Trigger => {
+                // "Call" the victim service with the out-of-bounds index:
+                // yield and let it run the gadget.
+                self.phase = Phase::Probe(0);
+                self.best = None;
+                Op::Yield { pc: self.pc }
+            }
+            Phase::Probe(i) => Op::Instr {
+                pc: self.pc,
+                data: Some((DataKind::Load, probe_base() + i as u64 * layout::LINE)),
+            },
+            Phase::Finished => Op::Done,
+        }
+    }
+
+    fn observe(&mut self, obs: Observation) {
+        if let Phase::Probe(i) = self.phase {
+            if let Some(latency) = obs.data_latency {
+                if self.threshold.is_hit(latency)
+                    && self.best.map_or(true, |(_, best)| latency < best)
+                {
+                    self.best = Some((i as u8, latency));
+                }
+                self.phase = if i + 1 < 256 {
+                    Phase::Probe(i + 1)
+                } else {
+                    self.log.borrow_mut().push(self.best.map(|(b, _)| b));
+                    self.byte += 1;
+                    if self.byte >= self.bytes {
+                        Phase::Finished
+                    } else {
+                        Phase::Flush(0)
+                    }
+                };
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "spectre-receiver"
+    }
+}
+
+impl std::fmt::Debug for SpectreReceiver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpectreReceiver")
+            .field("byte", &self.byte)
+            .finish()
+    }
+}
+
+/// Result of a Spectre-V1 extraction attempt.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpectreResult {
+    /// The secret the victim held.
+    pub secret: Vec<u8>,
+    /// What the receiver recovered (None = no cached slot seen).
+    pub recovered: Vec<Option<u8>>,
+}
+
+impl SpectreResult {
+    /// Fraction of secret bytes recovered exactly.
+    pub fn accuracy(&self) -> f64 {
+        let ok = self
+            .secret
+            .iter()
+            .zip(&self.recovered)
+            .filter(|(s, r)| Some(**s) == **r)
+            .count();
+        ok as f64 / self.secret.len().max(1) as f64
+    }
+
+    /// Whether the attack worked.
+    pub fn leaks(&self) -> bool {
+        self.accuracy() > 0.75
+    }
+}
+
+/// Runs the full Spectre-V1 demonstration for the given secret.
+///
+/// # Panics
+///
+/// Panics if `secret` is empty.
+pub fn run_spectre(security: SecurityMode, secret: &[u8]) -> SpectreResult {
+    assert!(!secret.is_empty(), "need a secret to leak");
+    let mut sys = single_core_system(security);
+    let lat = sys.config().hierarchy.latencies;
+
+    let (receiver, log) =
+        SpectreReceiver::new(Threshold::cross_core(&lat), secret.len() as u32);
+    sys.spawn(Box::new(receiver), 0, 0, None);
+    sys.spawn(
+        Box::new(SpectreVictim {
+            secret: secret.to_vec(),
+            next: 0,
+            step: 0,
+        }),
+        0,
+        0,
+        Some(secret.len() as u64 * 16),
+    );
+    sys.run(400_000_000);
+
+    let recovered = log.borrow().clone();
+    SpectreResult {
+        secret: secret.to_vec(),
+        recovered,
+    }
+}
+
+/// Outcome rows for both modes.
+pub fn demo() -> Vec<AttackOutcome> {
+    let secret = b"TimeCache!";
+    let baseline = run_spectre(SecurityMode::Baseline, secret);
+    let defended = run_spectre(timecache_mode(), secret);
+    let fmt = |r: &SpectreResult| {
+        let text: String = r
+            .recovered
+            .iter()
+            .map(|b| match b {
+                Some(c) if c.is_ascii_graphic() => *c as char,
+                Some(_) => '.',
+                None => '_',
+            })
+            .collect();
+        format!("recovered \"{text}\" ({:.0}% of bytes)", r.accuracy() * 100.0)
+    };
+    vec![
+        AttackOutcome::new("spectre-v1", "baseline", baseline.leaks(), fmt(&baseline)),
+        AttackOutcome::new("spectre-v1", "timecache", defended.leaks(), fmt(&defended)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaks_the_secret_in_baseline() {
+        let r = run_spectre(SecurityMode::Baseline, b"secret42");
+        assert!(r.leaks(), "{r:?}");
+        assert!(r.accuracy() > 0.9, "{r:?}");
+    }
+
+    #[test]
+    fn blinded_by_timecache() {
+        let r = run_spectre(timecache_mode(), b"secret42");
+        // Every probe is a first access: no slot ever reads as cached.
+        assert!(r.recovered.iter().all(|b| b.is_none()), "{r:?}");
+        assert_eq!(r.accuracy(), 0.0);
+    }
+
+    #[test]
+    fn ftm_cannot_stop_same_core_spectre() {
+        // The FTM baseline only helps across cores; a same-core Spectre
+        // pipeline (attacker and victim time-sliced) still leaks.
+        let r = run_spectre(SecurityMode::Ftm, b"secret42");
+        assert!(r.leaks(), "{r:?}");
+    }
+}

@@ -1,0 +1,37 @@
+//! Criterion bench: context-switch save/restore cost across LLC sizes —
+//! the Section VI-D bookkeeping path (snapshot copy + comparator sweep).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use timecache_core::TimeCacheConfig;
+use timecache_sim::{AccessKind, Hierarchy, HierarchyConfig, SecurityMode};
+
+fn switch_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("context-switch");
+    for llc_mb in [2u64, 4, 8] {
+        let mut cfg =
+            HierarchyConfig::with_cores(1).with_llc_bytes(llc_mb * 1024 * 1024);
+        cfg.security = SecurityMode::TimeCache(TimeCacheConfig::default());
+        let mut h = Hierarchy::new(cfg).expect("valid");
+        // Populate some state so snapshots are non-trivial.
+        for i in 0..4096u64 {
+            h.access(0, 0, AccessKind::Load, i * 64, i);
+        }
+        let snap = h.save_context(0, 0, 5_000);
+
+        group.bench_with_input(BenchmarkId::new("save", llc_mb), &llc_mb, |b, _| {
+            b.iter(|| black_box(h.save_context(0, 0, 10_000)))
+        });
+        group.bench_with_input(BenchmarkId::new("restore", llc_mb), &llc_mb, |b, _| {
+            let mut now = 10_000u64;
+            b.iter(|| {
+                now += 1;
+                black_box(h.restore_context(0, 0, Some(&snap), now))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, switch_cost);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Experiment driver: regenerates every table and figure of the paper's
+//! evaluation.
+//!
+//! ```text
+//! experiments [--quick] <all|table1|table2|fig7|fig8|fig9|fig10|security|
+//!                        rollover|switchcost|other-attacks|ablation>
+//! ```
+//!
+//! `--quick` shrinks the instruction budgets (useful for smoke-testing the
+//! harness; reported numbers will be noisier).
+
+use timecache_bench::exp;
+use timecache_bench::runner::RunParams;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: experiments [--quick] <all|table1|table2|fig7|fig8|fig9|fig10|\
+         security|rollover|switchcost|other-attacks|ftm|area|ablation>"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    args.retain(|a| a != "--quick");
+    let which = args.first().map(String::as_str).unwrap_or_else(|| usage());
+    let params = if quick {
+        RunParams::quick()
+    } else {
+        RunParams::default()
+    };
+
+    match which {
+        "table1" => exp::table1::run(),
+        "table2" | "fig7" | "fig8" => {
+            eprintln!("running SPEC sweep (24 pairs, 2 modes)...");
+            let sweep = exp::spec_sweep(&params);
+            match which {
+                "fig7" => exp::fig7::run(&sweep),
+                "fig8" => exp::fig8::run(&sweep),
+                _ => {
+                    eprintln!("running PARSEC sweep (6 benchmarks, 2 modes)...");
+                    let parsec = exp::fig9::sweep(&params);
+                    exp::table2::run(&sweep, &parsec);
+                }
+            }
+        }
+        "fig9" => {
+            eprintln!("running PARSEC sweep (6 benchmarks, 2 modes)...");
+            let parsec = exp::fig9::sweep(&params);
+            exp::fig9::run(&parsec);
+        }
+        "fig10" => exp::fig10::run(&params),
+        "security" => exp::security::run(),
+        "rollover" => exp::rollover::run(&params),
+        "switchcost" => exp::switchcost::run(&params),
+        "other-attacks" => exp::other_attacks::run(),
+        "ftm" => exp::ftm::run(&params),
+        "area" => exp::area::run(),
+        "ablation" => exp::ablation::run(&params),
+        "all" => {
+            exp::table1::run();
+            eprintln!("running SPEC sweep (24 pairs, 2 modes)...");
+            let sweep = exp::spec_sweep(&params);
+            exp::fig7::run(&sweep);
+            exp::fig8::run(&sweep);
+            eprintln!("running PARSEC sweep (6 benchmarks, 2 modes)...");
+            let parsec = exp::fig9::sweep(&params);
+            exp::fig9::run(&parsec);
+            exp::table2::run(&sweep, &parsec);
+            exp::fig10::run(&params);
+            exp::security::run();
+            exp::rollover::run(&params);
+            exp::switchcost::run(&params);
+            exp::other_attacks::run();
+            exp::ftm::run(&params);
+            exp::area::run();
+            exp::ablation::run(&params);
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,31 @@
+//! One module per paper artifact (table or figure), each exposing a
+//! `run(params)` that prints the regenerated table and writes a CSV.
+
+pub mod ablation;
+pub mod area;
+pub mod fig10;
+pub mod fig7;
+pub mod ftm;
+pub mod fig8;
+pub mod fig9;
+pub mod other_attacks;
+pub mod rollover;
+pub mod security;
+pub mod switchcost;
+pub mod table1;
+pub mod table2;
+
+use crate::runner::{compare_spec_pair, Comparison, RunParams};
+use timecache_workloads::mixes;
+
+/// Runs the full Table II SPEC sweep (24 pairs, both modes) once; the
+/// results feed Fig. 7, Fig. 8, and Table II.
+pub fn spec_sweep(params: &RunParams) -> Vec<Comparison> {
+    mixes::all_pairs()
+        .iter()
+        .map(|spec| {
+            eprintln!("  running {} ...", spec.label());
+            compare_spec_pair(spec, params)
+        })
+        .collect()
+}

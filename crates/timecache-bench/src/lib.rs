@@ -1,0 +1,23 @@
+//! # timecache-bench
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! TimeCache paper's evaluation, plus Criterion micro-benchmarks for the
+//! mechanism itself.
+//!
+//! Run experiments via the `experiments` binary:
+//!
+//! ```text
+//! cargo run --release -p timecache-bench --bin experiments -- all
+//! cargo run --release -p timecache-bench --bin experiments -- fig7
+//! ```
+//!
+//! Each experiment prints a paper-style table to stdout and writes a CSV
+//! under `results/`. See `DESIGN.md` for the experiment index and
+//! `EXPERIMENTS.md` for paper-vs-measured records.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exp;
+pub mod output;
+pub mod runner;

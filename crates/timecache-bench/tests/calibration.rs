@@ -1,0 +1,59 @@
+//! Calibration harness: checks that each SPEC preset's measured *baseline*
+//! LLC MPKI lands near the paper's Table II column.
+//!
+//! These tests run multi-million-instruction simulations and are `#[ignore]`d
+//! by default; run them when retuning presets:
+//!
+//! ```text
+//! cargo test --release -p timecache-bench --test calibration -- --ignored
+//! ```
+
+use timecache_bench::runner::{run_spec_pair_mode, RunParams};
+use timecache_sim::SecurityMode;
+use timecache_workloads::mixes;
+
+/// Factor by which a measured baseline MPKI may deviate from the paper's
+/// value before the preset is considered miscalibrated. Generous because
+/// the substrate is synthetic; the point is matching magnitude, not
+/// digits.
+const TOLERANCE_FACTOR: f64 = 2.0;
+
+/// Workloads below this MPKI are in the noise floor where ratios are
+/// meaningless; they only need to stay small.
+const NOISE_FLOOR: f64 = 0.05;
+
+#[test]
+#[ignore = "multi-minute calibration sweep; run with -- --ignored when retuning presets"]
+fn same_benchmark_baseline_mpki_tracks_table_ii() {
+    let params = RunParams {
+        warmup_instructions: 1_000_000,
+        measure_instructions: 4_000_000,
+        ..RunParams::default()
+    };
+    let mut failures = Vec::new();
+    for spec in mixes::same_benchmark_pairs() {
+        let paper = spec
+            .a
+            .paper_baseline_mpki()
+            .expect("same-benchmark pairs have paper values");
+        let measured = run_spec_pair_mode(&spec, SecurityMode::Baseline, &params).llc_mpki();
+        eprintln!("{:<16} measured {:>9.4}  paper {:>9.4}", spec.label(), measured, paper);
+        if paper < NOISE_FLOOR {
+            if measured > NOISE_FLOOR * 10.0 {
+                failures.push(format!(
+                    "{}: measured {measured:.4} far above noise floor (paper {paper:.4})",
+                    spec.label()
+                ));
+            }
+            continue;
+        }
+        let ratio = measured / paper;
+        if !(1.0 / TOLERANCE_FACTOR..=TOLERANCE_FACTOR).contains(&ratio) {
+            failures.push(format!(
+                "{}: measured {measured:.4} vs paper {paper:.4} (ratio {ratio:.2})",
+                spec.label()
+            ));
+        }
+    }
+    assert!(failures.is_empty(), "miscalibrated presets:\n{}", failures.join("\n"));
+}

@@ -1,0 +1,226 @@
+//! Gate-level model of the bit-serial, timestamp-parallel comparator.
+//!
+//! Section V-C / Fig. 6 of the paper: at a context switch, the s-bits
+//! restored for the resuming process are stale — any line filled after the
+//! process was preempted (`Tc > Ts`) must have its s-bit reset. Comparing
+//! timestamps line-by-line would take O(lines) cycles; instead the hardware
+//! streams the transposed timestamp array out one *bit-plane* per cycle
+//! (MSB first) and attaches a tiny peripheral circuit to every bit line:
+//!
+//! * an SR latch `GT` — set when this line's `Tc` is discovered to be
+//!   greater than `Ts` (its output later drives the s-bit reset);
+//! * an SR latch `DONE` — set when `Tc < Ts` is discovered, which must
+//!   *stop* further bit comparisons for this line;
+//! * two AND gates implementing, per iteration `i` from the MSB:
+//!   `set_GT = Tc[i] & !Ts[i] & !DONE & !GT` and
+//!   `set_DONE = !Tc[i] & Ts[i] & !DONE & !GT`.
+//!
+//! After `width` iterations, lines whose `GT` latch is set have their s-bit
+//! reset through the regular bit-line drivers. Total cost: O(width) cycles
+//! regardless of the number of lines.
+//!
+//! [`BitSerialComparator::compare`] executes this circuit 64 lines at a time
+//! using word-wide boolean algebra — the same parallelism the silicon gets
+//! from having one peripheral per bit line — and is property-tested against
+//! the functional predicate `Tc > Ts` in the crate's test suite.
+
+use crate::timestamp::WrappingTime;
+use crate::transpose::TransposeArray;
+
+/// The result of one bit-serial comparison sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompareOutcome {
+    /// Packed mask over lines: bit set ⇔ `Tc > Ts` ⇔ the line's s-bit must
+    /// be reset for the resuming context. Same packing as
+    /// [`crate::SBitArray::words`].
+    pub reset_mask: Vec<u64>,
+    /// Hardware cycles consumed: one per timestamp bit (plus the final
+    /// reset drive, charged as one cycle).
+    pub cycles: u64,
+}
+
+impl CompareOutcome {
+    /// Number of lines flagged for reset.
+    pub fn reset_count(&self) -> usize {
+        self.reset_mask.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+/// Bit-serial, timestamp-parallel comparator (Fig. 6).
+///
+/// The comparator is stateless between invocations (its SR latches are reset
+/// before each sweep), so it is modelled as a unit struct with a single
+/// associated function.
+///
+/// # Examples
+///
+/// ```
+/// use timecache_core::{BitSerialComparator, TransposeArray, TimestampWidth, WrappingTime};
+///
+/// let w = TimestampWidth::new(8);
+/// let mut tc = TransposeArray::new(3, w);
+/// tc.write_word(0, 50);   // older than Ts: keep
+/// tc.write_word(1, 100);  // equal to Ts: keep
+/// tc.write_word(2, 150);  // newer than Ts: reset
+///
+/// let out = BitSerialComparator::compare(&tc, WrappingTime::from_cycle(100, w));
+/// assert_eq!(out.reset_mask[0], 0b100);
+/// assert_eq!(out.cycles, 9); // 8 bit iterations + reset drive
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BitSerialComparator;
+
+impl BitSerialComparator {
+    /// Runs the comparison circuit: for every line `l`,
+    /// `reset_mask[l] = (Tc[l] > Ts)`.
+    ///
+    /// `ts` is the resuming process's preemption timestamp, loaded into the
+    /// shift register; `tc` is the transposed timestamp array. Both use
+    /// truncated (width-masked) values; rollover must be handled by the
+    /// caller *before* invoking the comparator (see
+    /// [`WrappingTime::rollover_since`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ts` and `tc` have different timestamp widths.
+    pub fn compare(tc: &TransposeArray, ts: WrappingTime) -> CompareOutcome {
+        assert_eq!(
+            tc.width(),
+            ts.width(),
+            "comparator requires matching timestamp widths"
+        );
+        let width = tc.width().bits();
+        let words = tc.words_per_plane();
+
+        // SR latches, one per line (bit line), packed 64 per word.
+        let mut gt = vec![0u64; words]; // "Tc > Ts" latched
+        let mut done = vec![0u64; words]; // "Tc < Ts" latched (stop)
+
+        // The shift register feeds Ts MSB-first; each iteration reads one
+        // bit-plane of the transposed array through the regular interface.
+        for bit in (0..width).rev() {
+            // Ts[bit] is a single wire fanned out to every peripheral.
+            let a: u64 = if ts.value() >> bit & 1 == 1 { u64::MAX } else { 0 };
+            let plane = tc.bit_plane(bit);
+            for w in 0..words {
+                let b = plane[w];
+                let idle = !(gt[w] | done[w]);
+                // set_GT = b & !a & idle ; set_DONE = !b & a & idle
+                gt[w] |= b & !a & idle;
+                done[w] |= !b & a & idle;
+            }
+        }
+
+        // Mask out any phantom lines in the final partial word so the reset
+        // count reflects real lines only.
+        if let Some(last) = gt.last_mut() {
+            let valid = tc.num_words() - (words - 1) * 64;
+            if valid < 64 {
+                *last &= (1u64 << valid) - 1;
+            }
+        }
+
+        CompareOutcome {
+            reset_mask: gt,
+            cycles: width as u64 + 1,
+        }
+    }
+
+    /// Cycle cost of a sweep for a given timestamp width, without running
+    /// it. One cycle per bit-plane plus one for the s-bit reset drive.
+    pub fn sweep_cycles(width: u8) -> u64 {
+        width as u64 + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timestamp::TimestampWidth;
+
+    fn run(values: &[u64], ts: u64, width: u8) -> Vec<bool> {
+        let w = TimestampWidth::new(width);
+        let mut tc = TransposeArray::new(values.len(), w);
+        for (i, &v) in values.iter().enumerate() {
+            tc.write_word(i, v);
+        }
+        let out = BitSerialComparator::compare(&tc, WrappingTime::from_cycle(ts, w));
+        (0..values.len())
+            .map(|i| out.reset_mask[i / 64] >> (i % 64) & 1 == 1)
+            .collect()
+    }
+
+    #[test]
+    fn greater_resets_equal_and_smaller_keep() {
+        let r = run(&[50, 100, 150, 0, 255], 100, 8);
+        assert_eq!(r, vec![false, false, true, false, true]);
+    }
+
+    #[test]
+    fn paper_example_msb_decides() {
+        // "the greater of '1100' and '0101' can be determined as the first
+        // number by looking at the MSB"
+        let r = run(&[0b1100], 0b0101, 4);
+        assert_eq!(r, vec![true]);
+        let r = run(&[0b0101], 0b1100, 4);
+        assert_eq!(r, vec![false]);
+    }
+
+    #[test]
+    fn ts_zero_resets_everything_nonzero() {
+        let r = run(&[0, 1, 2, 3], 0, 4);
+        assert_eq!(r, vec![false, true, true, true]);
+    }
+
+    #[test]
+    fn ts_max_resets_nothing() {
+        let r = run(&[0, 7, 15], 15, 4);
+        assert_eq!(r, vec![false, false, false]);
+    }
+
+    #[test]
+    fn partial_last_word_has_no_phantom_resets() {
+        // 70 lines, all Tc newer than Ts: exactly 70 resets, not 128.
+        let w = TimestampWidth::new(8);
+        let mut tc = TransposeArray::new(70, w);
+        for i in 0..70 {
+            tc.write_word(i, 200);
+        }
+        let out = BitSerialComparator::compare(&tc, WrappingTime::from_cycle(10, w));
+        assert_eq!(out.reset_count(), 70);
+    }
+
+    #[test]
+    fn cycles_scale_with_width_not_lines() {
+        let w = TimestampWidth::new(32);
+        let small = TransposeArray::new(8, w);
+        let large = TransposeArray::new(100_000, w);
+        let ts = WrappingTime::from_cycle(0, w);
+        assert_eq!(
+            BitSerialComparator::compare(&small, ts).cycles,
+            BitSerialComparator::compare(&large, ts).cycles,
+        );
+        assert_eq!(BitSerialComparator::sweep_cycles(32), 33);
+    }
+
+    #[test]
+    #[should_panic(expected = "matching timestamp widths")]
+    fn width_mismatch_rejected() {
+        let tc = TransposeArray::new(4, TimestampWidth::new(8));
+        let ts = WrappingTime::from_cycle(0, TimestampWidth::new(16));
+        BitSerialComparator::compare(&tc, ts);
+    }
+
+    #[test]
+    fn exhaustive_small_width_equivalence() {
+        // For 5-bit timestamps, check the circuit against `tc > ts` for every
+        // (tc, ts) pair exhaustively.
+        for ts in 0u64..32 {
+            let values: Vec<u64> = (0..32).collect();
+            let r = run(&values, ts, 5);
+            for (tc, &flag) in values.iter().zip(&r) {
+                assert_eq!(flag, *tc > ts, "tc={tc} ts={ts}");
+            }
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Configuration for the TimeCache mechanism.
+
+use crate::timestamp::TimestampWidth;
+
+/// How per-line visibility is represented in hardware (Section VI-C's
+/// scaling discussion).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SharerTracking {
+    /// One s-bit per hardware context per line — the paper's evaluated
+    /// design; storage grows linearly with context count.
+    #[default]
+    FullMap,
+    /// Up to `k` sharer pointers per line (`k·log2(n)` bits), after the
+    /// limited-pointer coherence directories the paper points at for
+    /// many-context LLCs. Pointer overflow revokes a victim's visibility:
+    /// strictly more conservative than the full map (extra first-access
+    /// misses, never stale hits).
+    LimitedPointers {
+        /// Pointers per line.
+        k: usize,
+    },
+}
+
+/// Tunable parameters of the TimeCache hardware, per cache level.
+///
+/// The defaults correspond to the paper's evaluated configuration
+/// (32-bit timestamps, Section VII mitigations off).
+///
+/// # Examples
+///
+/// ```
+/// use timecache_core::TimeCacheConfig;
+///
+/// let cfg = TimeCacheConfig::default()
+///     .with_constant_time_clflush(true)
+///     .with_dram_wait_on_remote_hit(true);
+/// assert_eq!(cfg.timestamp_width().bits(), 32);
+/// assert!(cfg.constant_time_clflush());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimeCacheConfig {
+    timestamp_width: TimestampWidth,
+    constant_time_clflush: bool,
+    dram_wait_on_remote_hit: bool,
+    sharer_tracking: SharerTracking,
+}
+
+impl TimeCacheConfig {
+    /// Creates a config with the given timestamp width and all Section VII
+    /// mitigations disabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `timestamp_bits` is zero or greater than 64.
+    pub fn new(timestamp_bits: u8) -> Self {
+        TimeCacheConfig {
+            timestamp_width: TimestampWidth::new(timestamp_bits),
+            constant_time_clflush: false,
+            dram_wait_on_remote_hit: false,
+            sharer_tracking: SharerTracking::FullMap,
+        }
+    }
+
+    /// The `Tc`/`Ts` counter width.
+    pub fn timestamp_width(&self) -> TimestampWidth {
+        self.timestamp_width
+    }
+
+    /// Section VII-C mitigation: make `clflush` constant-time (perform a
+    /// dummy write-back when the line is not cached) so flush+flush cannot
+    /// distinguish cached from uncached lines.
+    pub fn constant_time_clflush(&self) -> bool {
+        self.constant_time_clflush
+    }
+
+    /// Section VII-B mitigation: on a first access, wait for the DRAM
+    /// response latency even when the data could be supplied faster by a
+    /// remote private cache or the LLC, defeating invalidate+transfer and
+    /// E/S-state coherence attacks.
+    pub fn dram_wait_on_remote_hit(&self) -> bool {
+        self.dram_wait_on_remote_hit
+    }
+
+    /// Returns a copy with the constant-time `clflush` mitigation toggled.
+    pub fn with_constant_time_clflush(mut self, on: bool) -> Self {
+        self.constant_time_clflush = on;
+        self
+    }
+
+    /// Returns a copy with the DRAM-wait coherence mitigation toggled.
+    pub fn with_dram_wait_on_remote_hit(mut self, on: bool) -> Self {
+        self.dram_wait_on_remote_hit = on;
+        self
+    }
+
+    /// Returns a copy with a different timestamp width (useful for rollover
+    /// experiments with narrow counters).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is zero or greater than 64.
+    pub fn with_timestamp_bits(mut self, bits: u8) -> Self {
+        self.timestamp_width = TimestampWidth::new(bits);
+        self
+    }
+
+    /// The visibility representation (full s-bit map or limited pointers).
+    pub fn sharer_tracking(&self) -> SharerTracking {
+        self.sharer_tracking
+    }
+
+    /// Returns a copy using limited-pointer tracking with `k` pointers per
+    /// line (Section VI-C's area-scaling alternative).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    pub fn with_limited_pointers(mut self, k: usize) -> Self {
+        assert!(k > 0, "need at least one pointer per line");
+        self.sharer_tracking = SharerTracking::LimitedPointers { k };
+        self
+    }
+}
+
+impl Default for TimeCacheConfig {
+    /// The paper's evaluated configuration: 32-bit timestamps, mitigations
+    /// for the Section VII attack variants disabled.
+    fn default() -> Self {
+        TimeCacheConfig::new(32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let c = TimeCacheConfig::default();
+        assert_eq!(c.timestamp_width().bits(), 32);
+        assert!(!c.constant_time_clflush());
+        assert!(!c.dram_wait_on_remote_hit());
+    }
+
+    #[test]
+    fn builders_toggle_flags() {
+        let c = TimeCacheConfig::new(8)
+            .with_constant_time_clflush(true)
+            .with_dram_wait_on_remote_hit(true)
+            .with_timestamp_bits(16);
+        assert_eq!(c.timestamp_width().bits(), 16);
+        assert!(c.constant_time_clflush());
+        assert!(c.dram_wait_on_remote_hit());
+    }
+
+    #[test]
+    fn sharer_tracking_defaults_to_full_map() {
+        assert_eq!(
+            TimeCacheConfig::default().sharer_tracking(),
+            SharerTracking::FullMap
+        );
+        let c = TimeCacheConfig::default().with_limited_pointers(2);
+        assert_eq!(
+            c.sharer_tracking(),
+            SharerTracking::LimitedPointers { k: 2 }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one pointer")]
+    fn zero_pointers_rejected() {
+        TimeCacheConfig::default().with_limited_pointers(0);
+    }
+}

@@ -1,0 +1,354 @@
+//! Limited-pointer visibility tracking.
+//!
+//! Section VI-C of the paper notes that one s-bit per hardware context per
+//! line scales poorly for server-class LLCs and points at coherence-
+//! directory techniques — specifically limited pointers (Agarwal et al.,
+//! ISCA 1988) — as the remedy: since applications rarely share a line
+//! across many contexts, track at most `k` sharer *ids* (`k·log2(n)` bits)
+//! instead of `n` presence bits.
+//!
+//! [`LimitedPointers`] implements that representation for s-bits. The
+//! safety argument carries over unchanged because pointer overflow is
+//! resolved by *revoking* a victim pointer's visibility: revocation can
+//! only cause extra first-access misses, never a stale hit. The property
+//! test in the crate's test suite checks exactly that bound against the
+//! full-map representation.
+
+/// Per-line limited-pointer sharer slots standing in for per-context
+/// s-bits.
+///
+/// Each line has `k` slots; a slot holds `context + 1` (0 = empty). A
+/// context has visibility of a line iff one of the line's slots names it.
+///
+/// # Examples
+///
+/// ```
+/// use timecache_core::LimitedPointers;
+///
+/// let mut lp = LimitedPointers::new(64, 8, 2);
+/// lp.grant(3, 0);
+/// lp.grant(3, 1);
+/// assert!(lp.has(3, 0) && lp.has(3, 1));
+/// // A third sharer overflows the 2 pointers: someone loses visibility.
+/// lp.grant(3, 7);
+/// assert!(lp.has(3, 7));
+/// let survivors = (0..8).filter(|&c| lp.has(3, c)).count();
+/// assert_eq!(survivors, 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LimitedPointers {
+    /// `lines * k` slots; value 0 = empty, else context id + 1.
+    slots: Vec<u32>,
+    num_lines: usize,
+    num_contexts: usize,
+    k: usize,
+    /// Round-robin victim cursor for overflow replacement.
+    rr: usize,
+}
+
+impl LimitedPointers {
+    /// Creates tracking for `num_lines` lines, `num_contexts` contexts,
+    /// and `k` pointers per line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any argument is zero or `k > num_contexts` (at that point
+    /// a full bit map is strictly smaller — use it instead).
+    pub fn new(num_lines: usize, num_contexts: usize, k: usize) -> Self {
+        assert!(num_lines > 0, "need at least one line");
+        assert!(num_contexts > 0, "need at least one context");
+        assert!(
+            k > 0 && k <= num_contexts,
+            "k must be in 1..=num_contexts, got {k}"
+        );
+        LimitedPointers {
+            slots: vec![0; num_lines * k],
+            num_lines,
+            num_contexts,
+            k,
+            rr: 0,
+        }
+    }
+
+    /// Number of pointers per line.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of lines covered.
+    pub fn num_lines(&self) -> usize {
+        self.num_lines
+    }
+
+    /// Number of contexts representable.
+    pub fn num_contexts(&self) -> usize {
+        self.num_contexts
+    }
+
+    fn row(&self, line: usize) -> &[u32] {
+        &self.slots[line * self.k..(line + 1) * self.k]
+    }
+
+    fn row_mut(&mut self, line: usize) -> &mut [u32] {
+        &mut self.slots[line * self.k..(line + 1) * self.k]
+    }
+
+    /// Whether `ctx` currently has visibility of `line`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line` or `ctx` is out of range.
+    pub fn has(&self, line: usize, ctx: usize) -> bool {
+        self.check(line, ctx);
+        self.row(line).contains(&(ctx as u32 + 1))
+    }
+
+    /// Grants `ctx` visibility of `line`, evicting a round-robin victim
+    /// pointer on overflow (the victim pays an extra first-access miss
+    /// later — safe, only slower).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line` or `ctx` is out of range.
+    pub fn grant(&mut self, line: usize, ctx: usize) {
+        self.check(line, ctx);
+        let tag = ctx as u32 + 1;
+        let k = self.k;
+        let rr = self.rr;
+        let row = self.row_mut(line);
+        if row.contains(&tag) {
+            return;
+        }
+        if let Some(slot) = row.iter_mut().find(|s| **s == 0) {
+            *slot = tag;
+            return;
+        }
+        row[rr % k] = tag;
+        self.rr = rr.wrapping_add(1);
+    }
+
+    /// Revokes `ctx`'s visibility of `line` (no-op if absent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line` or `ctx` is out of range.
+    pub fn revoke(&mut self, line: usize, ctx: usize) {
+        self.check(line, ctx);
+        let tag = ctx as u32 + 1;
+        for slot in self.row_mut(line) {
+            if *slot == tag {
+                *slot = 0;
+            }
+        }
+    }
+
+    /// Grants `ctx` exclusive visibility of `line` (the fill case: the
+    /// filling context is the only sharer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line` or `ctx` is out of range.
+    pub fn set_exclusive(&mut self, line: usize, ctx: usize) {
+        self.check(line, ctx);
+        let tag = ctx as u32 + 1;
+        let row = self.row_mut(line);
+        row.fill(0);
+        row[0] = tag;
+    }
+
+    /// Clears every pointer of `line` (eviction/invalidation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line` is out of range.
+    pub fn clear_line(&mut self, line: usize) {
+        assert!(line < self.num_lines, "line {line} out of range");
+        self.row_mut(line).fill(0);
+    }
+
+    /// Revokes `ctx`'s visibility of every line (fresh process / rollover).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ctx` is out of range.
+    pub fn clear_ctx(&mut self, ctx: usize) {
+        assert!(ctx < self.num_contexts, "context {ctx} out of range");
+        let tag = ctx as u32 + 1;
+        for slot in &mut self.slots {
+            if *slot == tag {
+                *slot = 0;
+            }
+        }
+    }
+
+    /// Extracts `ctx`'s visibility as a packed bit vector (the snapshot the
+    /// OS saves at preemption), one `u64` per 64 lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ctx` is out of range.
+    pub fn extract_bits(&self, ctx: usize) -> Vec<u64> {
+        assert!(ctx < self.num_contexts, "context {ctx} out of range");
+        let tag = ctx as u32 + 1;
+        let mut bits = vec![0u64; self.num_lines.div_ceil(64)];
+        for line in 0..self.num_lines {
+            if self.row(line).contains(&tag) {
+                bits[line / 64] |= 1 << (line % 64);
+            }
+        }
+        bits
+    }
+
+    /// Loads a saved bit vector for `ctx`: revokes everything it holds,
+    /// then grants the snapshot's lines (possibly evicting other contexts'
+    /// pointers on overflow — conservative for them, not for security).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ctx` is out of range or the bit vector does not cover
+    /// `num_lines`.
+    pub fn load_bits(&mut self, ctx: usize, bits: &[u64]) {
+        assert!(ctx < self.num_contexts, "context {ctx} out of range");
+        assert_eq!(
+            bits.len(),
+            self.num_lines.div_ceil(64),
+            "snapshot word count mismatch"
+        );
+        self.clear_ctx(ctx);
+        for line in 0..self.num_lines {
+            if bits[line / 64] >> (line % 64) & 1 == 1 {
+                self.grant(line, ctx);
+            }
+        }
+    }
+
+    /// Applies a comparator reset mask for one context: revokes `ctx`'s
+    /// visibility of every line whose mask bit is set. Returns the number
+    /// of revocations (pointers that actually named `ctx`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ctx` is out of range or the mask does not cover
+    /// `num_lines`.
+    pub fn apply_reset_mask(&mut self, ctx: usize, mask: &[u64]) -> usize {
+        assert!(ctx < self.num_contexts, "context {ctx} out of range");
+        assert_eq!(
+            mask.len(),
+            self.num_lines.div_ceil(64),
+            "reset mask word count mismatch"
+        );
+        let tag = ctx as u32 + 1;
+        let mut revoked = 0;
+        for line in 0..self.num_lines {
+            if mask[line / 64] >> (line % 64) & 1 == 1 {
+                for slot in self.row_mut(line) {
+                    if *slot == tag {
+                        *slot = 0;
+                        revoked += 1;
+                    }
+                }
+            }
+        }
+        revoked
+    }
+
+    /// Storage cost in bits: `lines * k * ceil(log2(contexts + 1))` —
+    /// the Section VI-C area argument, to compare against `lines *
+    /// contexts` for the full map.
+    pub fn storage_bits(&self) -> usize {
+        let id_bits = usize::BITS as usize - (self.num_contexts).leading_zeros() as usize;
+        self.num_lines * self.k * id_bits
+    }
+
+    fn check(&self, line: usize, ctx: usize) {
+        assert!(line < self.num_lines, "line {line} out of range");
+        assert!(ctx < self.num_contexts, "context {ctx} out of range");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grant_and_revoke() {
+        let mut lp = LimitedPointers::new(8, 4, 2);
+        assert!(!lp.has(0, 0));
+        lp.grant(0, 0);
+        assert!(lp.has(0, 0));
+        lp.revoke(0, 0);
+        assert!(!lp.has(0, 0));
+    }
+
+    #[test]
+    fn grant_is_idempotent() {
+        let mut lp = LimitedPointers::new(8, 4, 2);
+        lp.grant(0, 1);
+        lp.grant(0, 1);
+        lp.grant(0, 2);
+        assert!(lp.has(0, 1) && lp.has(0, 2), "no self-eviction");
+    }
+
+    #[test]
+    fn overflow_revokes_exactly_one() {
+        let mut lp = LimitedPointers::new(8, 8, 3);
+        for ctx in 0..3 {
+            lp.grant(5, ctx);
+        }
+        lp.grant(5, 7);
+        let holders: Vec<_> = (0..8).filter(|&c| lp.has(5, c)).collect();
+        assert_eq!(holders.len(), 3);
+        assert!(holders.contains(&7), "new sharer always wins a slot");
+    }
+
+    #[test]
+    fn set_exclusive_models_fill() {
+        let mut lp = LimitedPointers::new(8, 4, 2);
+        lp.grant(2, 0);
+        lp.grant(2, 1);
+        lp.set_exclusive(2, 3);
+        assert!(lp.has(2, 3));
+        assert!(!lp.has(2, 0) && !lp.has(2, 1));
+    }
+
+    #[test]
+    fn clear_ctx_is_global_revocation() {
+        let mut lp = LimitedPointers::new(8, 4, 2);
+        lp.grant(1, 2);
+        lp.grant(3, 2);
+        lp.grant(3, 1);
+        lp.clear_ctx(2);
+        assert!(!lp.has(1, 2) && !lp.has(3, 2));
+        assert!(lp.has(3, 1), "other contexts unaffected");
+    }
+
+    #[test]
+    fn bits_roundtrip() {
+        let mut lp = LimitedPointers::new(70, 4, 2);
+        lp.grant(0, 1);
+        lp.grant(69, 1);
+        lp.grant(5, 0);
+        let bits = lp.extract_bits(1);
+        assert_eq!(bits[0] & 1, 1);
+        assert_eq!(bits[1] >> 5 & 1, 1);
+
+        let mut other = LimitedPointers::new(70, 4, 2);
+        other.load_bits(1, &bits);
+        assert!(other.has(0, 1) && other.has(69, 1));
+        assert!(!other.has(5, 1));
+    }
+
+    #[test]
+    fn storage_beats_full_map_for_many_contexts() {
+        // 64 contexts, 2 pointers: 2*7 = 14 bits/line vs 64 bits/line.
+        let lp = LimitedPointers::new(1000, 64, 2);
+        assert!(lp.storage_bits() < 1000 * 64);
+        assert_eq!(lp.storage_bits(), 1000 * 2 * 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be")]
+    fn oversized_k_rejected() {
+        LimitedPointers::new(8, 2, 3);
+    }
+}

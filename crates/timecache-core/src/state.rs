@@ -1,0 +1,533 @@
+//! Per-cache-level TimeCache state machine.
+//!
+//! [`TimeCacheState`] aggregates the mechanism for one cache level: one
+//! transposed `Tc` array, one [`SBitArray`] per hardware context sharing the
+//! cache, and the save/restore/compare choreography performed at context
+//! switches (Fig. 4 of the paper).
+
+use crate::comparator::BitSerialComparator;
+use crate::config::{SharerTracking, TimeCacheConfig};
+use crate::limited::LimitedPointers;
+use crate::sbit::SBitArray;
+use crate::snapshot::Snapshot;
+use crate::transpose::TransposeArray;
+
+/// What a tag-hit access is allowed to observe, per Section V-A.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Visibility {
+    /// The requesting context's s-bit is set: service as an ordinary hit.
+    Visible,
+    /// The s-bit is clear: this is a **first access**. The request must be
+    /// sent down the memory hierarchy and serviced with miss-equivalent
+    /// latency; the returned data is discarded (the cached copy is newest)
+    /// and the s-bit is then set via
+    /// [`TimeCacheState::record_first_access`].
+    FirstAccess,
+}
+
+/// The outcome of restoring a process's caching context onto a hardware
+/// context (Section V-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RestoreOutcome {
+    /// Whether counter rollover was detected since the process was
+    /// preempted, forcing a conservative reset of all its s-bits.
+    pub rollover: bool,
+    /// Number of s-bits the comparator (or rollover reset) cleared relative
+    /// to the restored snapshot.
+    pub sbits_reset: usize,
+    /// Hardware cycles spent in the bit-serial comparison sweep (zero when a
+    /// rollover reset or a fresh-process reset made the sweep unnecessary).
+    pub comparator_cycles: u64,
+    /// 64-byte transfers performed to restore the snapshot from memory.
+    pub transfer_lines: usize,
+}
+
+/// The visibility representation behind a [`TimeCacheState`]: the paper's
+/// full per-context s-bit map, or the limited-pointer alternative.
+#[derive(Debug, Clone)]
+enum Sharers {
+    Full(Vec<SBitArray>),
+    Limited(LimitedPointers),
+}
+
+impl Sharers {
+    fn get(&self, line: usize, ctx: usize) -> bool {
+        match self {
+            Sharers::Full(maps) => maps[ctx].get(line),
+            Sharers::Limited(lp) => lp.has(line, ctx),
+        }
+    }
+
+    fn grant(&mut self, line: usize, ctx: usize) {
+        match self {
+            Sharers::Full(maps) => maps[ctx].set(line),
+            Sharers::Limited(lp) => lp.grant(line, ctx),
+        }
+    }
+
+    fn set_exclusive(&mut self, line: usize, ctx: usize) {
+        match self {
+            Sharers::Full(maps) => {
+                for (c, map) in maps.iter_mut().enumerate() {
+                    if c == ctx {
+                        map.set(line);
+                    } else {
+                        map.clear(line);
+                    }
+                }
+            }
+            Sharers::Limited(lp) => lp.set_exclusive(line, ctx),
+        }
+    }
+
+    fn clear_line(&mut self, line: usize) {
+        match self {
+            Sharers::Full(maps) => {
+                for map in maps {
+                    map.clear(line);
+                }
+            }
+            Sharers::Limited(lp) => lp.clear_line(line),
+        }
+    }
+
+    fn clear_ctx(&mut self, ctx: usize) -> usize {
+        match self {
+            Sharers::Full(maps) => {
+                let before = maps[ctx].count_set();
+                maps[ctx].clear_all();
+                before
+            }
+            Sharers::Limited(lp) => {
+                let before = lp.extract_bits(ctx)
+                    .iter()
+                    .map(|w| w.count_ones() as usize)
+                    .sum();
+                lp.clear_ctx(ctx);
+                before
+            }
+        }
+    }
+
+    fn extract(&self, ctx: usize, num_lines: usize) -> SBitArray {
+        match self {
+            Sharers::Full(maps) => maps[ctx].clone(),
+            Sharers::Limited(lp) => SBitArray::from_words(lp.extract_bits(ctx), num_lines),
+        }
+    }
+
+    fn load(&mut self, ctx: usize, snapshot: &SBitArray) {
+        match self {
+            Sharers::Full(maps) => maps[ctx].copy_from(snapshot),
+            Sharers::Limited(lp) => lp.load_bits(ctx, snapshot.words()),
+        }
+    }
+
+    fn apply_reset_mask(&mut self, ctx: usize, mask: &[u64]) -> usize {
+        match self {
+            Sharers::Full(maps) => maps[ctx].apply_reset_mask(mask),
+            Sharers::Limited(lp) => lp.apply_reset_mask(ctx, mask),
+        }
+    }
+}
+
+/// TimeCache hardware state for a single cache level shared by
+/// `num_contexts` hardware contexts.
+///
+/// Line indices are flat (`set * ways + way` is the natural mapping for a
+/// set-associative cache) and must be below `num_lines`.
+///
+/// # Examples
+///
+/// Cross-context isolation with save/restore across a context switch:
+///
+/// ```
+/// use timecache_core::{TimeCacheState, TimeCacheConfig, Visibility};
+///
+/// let mut tc = TimeCacheState::new(256, 1, TimeCacheConfig::new(32));
+///
+/// // Process A runs on context 0 and fills line 7 at cycle 1000.
+/// tc.on_fill(7, 0, 1000);
+/// let snap_a = tc.save_context(0, 2000); // A preempted at cycle 2000
+///
+/// // Process B is scheduled (fresh context), fills line 9 at cycle 2500,
+/// // and must not see A's line 7 as visible.
+/// tc.restore_context(0, None, 2000);
+/// assert_eq!(tc.visibility(7, 0), Visibility::FirstAccess);
+/// tc.on_fill(9, 0, 2500);
+/// let _snap_b = tc.save_context(0, 3000);
+///
+/// // A resumes: its own line 7 is still visible (Tc=1000 <= Ts=2000), but
+/// // B's line 9 (Tc=2500 > Ts=2000) is reset by the comparator.
+/// let outcome = tc.restore_context(0, Some(&snap_a), 3000);
+/// assert_eq!(outcome.sbits_reset, 0); // line 9 was never set in A's snapshot
+/// assert_eq!(tc.visibility(7, 0), Visibility::Visible);
+/// assert_eq!(tc.visibility(9, 0), Visibility::FirstAccess);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TimeCacheState {
+    config: TimeCacheConfig,
+    num_lines: usize,
+    num_contexts: usize,
+    tc: TransposeArray,
+    sharers: Sharers,
+}
+
+impl TimeCacheState {
+    /// Creates TimeCache state for a cache of `num_lines` lines shared by
+    /// `num_contexts` hardware contexts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_lines` or `num_contexts` is zero.
+    pub fn new(num_lines: usize, num_contexts: usize, config: TimeCacheConfig) -> Self {
+        assert!(num_lines > 0, "cache must have at least one line");
+        assert!(num_contexts > 0, "cache must serve at least one context");
+        let sharers = match config.sharer_tracking() {
+            SharerTracking::FullMap => {
+                Sharers::Full(vec![SBitArray::new(num_lines); num_contexts])
+            }
+            SharerTracking::LimitedPointers { k } => {
+                Sharers::Limited(LimitedPointers::new(num_lines, num_contexts, k.min(num_contexts)))
+            }
+        };
+        TimeCacheState {
+            config,
+            num_lines,
+            num_contexts,
+            tc: TransposeArray::new(num_lines, config.timestamp_width()),
+            sharers,
+        }
+    }
+
+    /// The configuration this state was built with.
+    pub fn config(&self) -> &TimeCacheConfig {
+        &self.config
+    }
+
+    /// Number of cache lines covered.
+    pub fn num_lines(&self) -> usize {
+        self.num_lines
+    }
+
+    /// Number of hardware contexts sharing the cache.
+    pub fn num_contexts(&self) -> usize {
+        self.num_contexts
+    }
+
+    /// A line was filled by `ctx` at (unbounded) cycle `now`: record `Tc`,
+    /// set the filling context's s-bit, and reset every other context's
+    /// s-bit for the line (Section V-A bullet list).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line` or `ctx` is out of range.
+    pub fn on_fill(&mut self, line: usize, ctx: usize, now: u64) {
+        self.check(line, ctx);
+        self.tc.write_word(line, now);
+        self.sharers.set_exclusive(line, ctx);
+    }
+
+    /// A line was evicted or invalidated: reset all contexts' s-bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line` is out of range.
+    pub fn on_evict(&mut self, line: usize) {
+        assert!(line < self.num_lines, "line {line} out of range");
+        self.sharers.clear_line(line);
+    }
+
+    /// Consults the s-bit on a tag hit: is the access an ordinary hit or a
+    /// first access that must be delayed?
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line` or `ctx` is out of range.
+    pub fn visibility(&self, line: usize, ctx: usize) -> Visibility {
+        self.check(line, ctx);
+        if self.sharers.get(line, ctx) {
+            Visibility::Visible
+        } else {
+            Visibility::FirstAccess
+        }
+    }
+
+    /// After a first access has been serviced with miss-equivalent latency,
+    /// set the context's s-bit so subsequent accesses hit normally.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line` or `ctx` is out of range.
+    pub fn record_first_access(&mut self, line: usize, ctx: usize) {
+        self.check(line, ctx);
+        self.sharers.grant(line, ctx);
+    }
+
+    /// Saves the caching context of `ctx` at preemption time `now`
+    /// (unbounded cycles; truncated to the counter width internally).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ctx` is out of range.
+    pub fn save_context(&self, ctx: usize, now: u64) -> Snapshot {
+        assert!(ctx < self.num_contexts, "context {ctx} out of range");
+        Snapshot::new(
+            self.sharers.extract(ctx, self.num_lines),
+            now,
+            self.config.timestamp_width(),
+        )
+    }
+
+    /// Restores a process's caching context onto hardware context `ctx` at
+    /// cycle `now`, then brings it up to date:
+    ///
+    /// * `snapshot == None` models a newly created process (Fig. 4a): all
+    ///   s-bits for the context are reset.
+    /// * On counter rollover since the snapshot's `Ts`
+    ///   ([`Snapshot::rollover_since`]), all s-bits are conservatively
+    ///   reset (Section VI-C).
+    /// * Otherwise the snapshot is loaded and the bit-serial comparator
+    ///   resets the s-bit of every line with `Tc > Ts`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ctx` is out of range or the snapshot's geometry (line
+    /// count / timestamp width) does not match this cache.
+    pub fn restore_context(
+        &mut self,
+        ctx: usize,
+        snapshot: Option<&Snapshot>,
+        now: u64,
+    ) -> RestoreOutcome {
+        assert!(ctx < self.num_contexts, "context {ctx} out of range");
+        let Some(snap) = snapshot else {
+            let before = self.sharers.clear_ctx(ctx);
+            return RestoreOutcome {
+                rollover: false,
+                sbits_reset: before,
+                comparator_cycles: 0,
+                transfer_lines: 0,
+            };
+        };
+        assert_eq!(
+            snap.sbits().len(),
+            self.num_lines,
+            "snapshot covers {} lines, cache has {}",
+            snap.sbits().len(),
+            self.num_lines
+        );
+        let width = self.config.timestamp_width();
+        assert_eq!(
+            snap.ts().width(),
+            width,
+            "snapshot timestamp width mismatch"
+        );
+
+        if snap.rollover_since(now) {
+            let restored = snap.sbits().count_set();
+            self.sharers.clear_ctx(ctx);
+            return RestoreOutcome {
+                rollover: true,
+                sbits_reset: restored,
+                comparator_cycles: 0,
+                transfer_lines: snap.transfer_lines(),
+            };
+        }
+
+        self.sharers.load(ctx, snap.sbits());
+        let outcome = BitSerialComparator::compare(&self.tc, snap.ts());
+        let reset = self.sharers.apply_reset_mask(ctx, &outcome.reset_mask);
+        RestoreOutcome {
+            rollover: false,
+            sbits_reset: reset,
+            comparator_cycles: outcome.cycles,
+            transfer_lines: snap.transfer_lines(),
+        }
+    }
+
+    /// The stored fill timestamp of a line (truncated). Mostly useful for
+    /// tests and diagnostics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line` is out of range.
+    pub fn tc_of(&self, line: usize) -> u64 {
+        self.tc.read_word(line)
+    }
+
+    /// A copy of one context's visibility as an s-bit array (materialized
+    /// from the pointer slots under limited tracking).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ctx` is out of range.
+    pub fn sbits(&self, ctx: usize) -> SBitArray {
+        assert!(ctx < self.num_contexts, "context {ctx} out of range");
+        self.sharers.extract(ctx, self.num_lines)
+    }
+
+    fn check(&self, line: usize, ctx: usize) {
+        assert!(line < self.num_lines, "line {line} out of range");
+        assert!(ctx < self.num_contexts, "context {ctx} out of range");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state(lines: usize, ctxs: usize, ts_bits: u8) -> TimeCacheState {
+        TimeCacheState::new(lines, ctxs, TimeCacheConfig::new(ts_bits))
+    }
+
+    #[test]
+    fn fill_grants_visibility_to_filler_only() {
+        let mut tc = state(64, 3, 32);
+        tc.on_fill(10, 1, 500);
+        assert_eq!(tc.visibility(10, 1), Visibility::Visible);
+        assert_eq!(tc.visibility(10, 0), Visibility::FirstAccess);
+        assert_eq!(tc.visibility(10, 2), Visibility::FirstAccess);
+        assert_eq!(tc.tc_of(10), 500);
+    }
+
+    #[test]
+    fn refill_revokes_other_contexts() {
+        let mut tc = state(64, 2, 32);
+        tc.on_fill(3, 0, 100);
+        tc.record_first_access(3, 1);
+        assert_eq!(tc.visibility(3, 1), Visibility::Visible);
+        // Line evicted and refilled by ctx 0: ctx 1 must pay again.
+        tc.on_evict(3);
+        tc.on_fill(3, 0, 900);
+        assert_eq!(tc.visibility(3, 0), Visibility::Visible);
+        assert_eq!(tc.visibility(3, 1), Visibility::FirstAccess);
+    }
+
+    #[test]
+    fn evict_resets_all_contexts() {
+        let mut tc = state(64, 2, 32);
+        tc.on_fill(8, 0, 10);
+        tc.record_first_access(8, 1);
+        tc.on_evict(8);
+        assert_eq!(tc.visibility(8, 0), Visibility::FirstAccess);
+        assert_eq!(tc.visibility(8, 1), Visibility::FirstAccess);
+    }
+
+    #[test]
+    fn fresh_process_restore_clears_everything() {
+        let mut tc = state(64, 1, 32);
+        tc.on_fill(1, 0, 10);
+        let out = tc.restore_context(0, None, 20);
+        assert_eq!(out.sbits_reset, 1);
+        assert_eq!(tc.visibility(1, 0), Visibility::FirstAccess);
+    }
+
+    #[test]
+    fn restore_resets_lines_filled_while_preempted() {
+        let mut tc = state(64, 1, 32);
+        tc.on_fill(1, 0, 10); // process A's line
+        let snap = tc.save_context(0, 100);
+
+        // Process B's tenure: refills line 1 (eviction + new fill) and
+        // fills line 2.
+        tc.restore_context(0, None, 100);
+        tc.on_evict(1);
+        tc.on_fill(1, 0, 150);
+        tc.on_fill(2, 0, 160);
+
+        let out = tc.restore_context(0, Some(&snap), 200);
+        assert!(!out.rollover);
+        // A's saved s-bit for line 1 is stale (Tc=150 > Ts=100): reset.
+        assert_eq!(out.sbits_reset, 1);
+        assert_eq!(tc.visibility(1, 0), Visibility::FirstAccess);
+        assert_eq!(tc.visibility(2, 0), Visibility::FirstAccess);
+        assert_eq!(out.comparator_cycles, 33);
+        assert_eq!(out.transfer_lines, 1);
+    }
+
+    #[test]
+    fn restore_preserves_surviving_lines() {
+        let mut tc = state(64, 1, 32);
+        tc.on_fill(5, 0, 10);
+        let snap = tc.save_context(0, 100);
+        tc.restore_context(0, None, 100); // B runs, touches nothing
+        let out = tc.restore_context(0, Some(&snap), 200);
+        assert_eq!(out.sbits_reset, 0);
+        assert_eq!(tc.visibility(5, 0), Visibility::Visible);
+    }
+
+    #[test]
+    fn rollover_forces_full_reset() {
+        let mut tc = state(64, 1, 8); // 8-bit counter: period 256
+        tc.on_fill(5, 0, 10);
+        let snap = tc.save_context(0, 250);
+        // Resumes at raw cycle 260 -> truncated 4 < 250: rollover.
+        let out = tc.restore_context(0, Some(&snap), 260);
+        assert!(out.rollover);
+        assert_eq!(out.sbits_reset, 1);
+        assert_eq!(out.comparator_cycles, 0);
+        assert_eq!(tc.visibility(5, 0), Visibility::FirstAccess);
+    }
+
+    #[test]
+    fn rollover_never_grants_stale_visibility() {
+        // Stress the paper's Section VI-C scenarios with an 8-bit counter.
+        let mut tc = state(8, 1, 8);
+        // Fill at cycle 200, preempt at 250.
+        tc.on_fill(0, 0, 200);
+        let snap = tc.save_context(0, 250);
+        tc.restore_context(0, None, 250);
+        // Another process fills line 1 at raw 300 (truncated 44).
+        tc.on_fill(1, 0, 300);
+        // A resumes at raw 310 (truncated 54 < 250): rollover reset; line 1
+        // must not be visible even though its truncated Tc (44) < Ts (250).
+        let out = tc.restore_context(0, Some(&snap), 310);
+        assert!(out.rollover);
+        assert_eq!(tc.visibility(1, 0), Visibility::FirstAccess);
+    }
+
+    #[test]
+    fn no_rollover_spurious_reset_is_safe_not_wrong() {
+        // Section VI-C: "assuming no rollover between Ts and resumption,
+        // older cache lines with bigger Tc may cause unnecessary resets, but
+        // correctness is maintained."
+        let mut tc = state(8, 1, 8);
+        tc.on_fill(0, 0, 230); // Tc = 230
+        // Process accessed it, preempted at raw 258 -> Ts truncates to 2.
+        let snap = tc.save_context(0, 258);
+        tc.restore_context(0, None, 258);
+        // Resumes at raw 261 -> truncated 5; no rollover detected (5 >= 2).
+        let out = tc.restore_context(0, Some(&snap), 261);
+        assert!(!out.rollover);
+        // Line 0 has Tc=230 > Ts=2: unnecessarily reset — extra miss, safe.
+        assert_eq!(tc.visibility(0, 0), Visibility::FirstAccess);
+    }
+
+    #[test]
+    fn smt_contexts_are_isolated_without_switches() {
+        // Two hyperthreads share the cache; no context switch involved.
+        let mut tc = state(64, 2, 32);
+        tc.on_fill(20, 0, 10); // victim thread fills
+        assert_eq!(tc.visibility(20, 1), Visibility::FirstAccess);
+        tc.record_first_access(20, 1);
+        assert_eq!(tc.visibility(20, 1), Visibility::Visible);
+        // Victim's visibility is unaffected by the spy's first access.
+        assert_eq!(tc.visibility(20, 0), Visibility::Visible);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn context_bounds_checked() {
+        state(8, 1, 32).visibility(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "snapshot covers")]
+    fn snapshot_geometry_checked() {
+        let mut a = state(8, 1, 32);
+        let b = state(16, 1, 32);
+        let snap = b.save_context(0, 0);
+        a.restore_context(0, Some(&snap), 0);
+    }
+}

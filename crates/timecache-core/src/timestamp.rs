@@ -1,0 +1,264 @@
+//! Width-parametric wrapping timestamps.
+//!
+//! TimeCache tags every cache line with the cycle count at which it was
+//! filled (`Tc`) and every process with the cycle count at which it was last
+//! preempted (`Ts`). Hardware counters have a fixed width (32 bits in the
+//! paper's evaluation) and therefore roll over; the defense stays *correct*
+//! across rollover (no stale hit is ever allowed) at the cost of extra
+//! first-access misses, as analysed in Section VI-C of the paper.
+//!
+//! [`TimestampWidth`] captures the counter width and provides masking;
+//! [`WrappingTime`] is a width-aware timestamp value supporting the exact
+//! comparison and rollover-detection semantics the hardware implements.
+
+use std::fmt;
+
+/// The bit width of the hardware timestamp counters (`Tc`, `Ts`).
+///
+/// Valid widths are 1 through 64 bits. The paper evaluates 32-bit
+/// timestamps; narrow widths (e.g. 7 bits, mirroring the paper's two-decimal-
+/// digit illustration) are useful for exercising rollover behaviour in tests.
+///
+/// # Examples
+///
+/// ```
+/// use timecache_core::TimestampWidth;
+///
+/// let w = TimestampWidth::new(8);
+/// assert_eq!(w.mask(), 0xFF);
+/// assert_eq!(w.truncate(0x1FE), 0xFE);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TimestampWidth(u8);
+
+impl TimestampWidth {
+    /// Creates a timestamp width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is zero or greater than 64.
+    pub fn new(bits: u8) -> Self {
+        assert!(
+            (1..=64).contains(&bits),
+            "timestamp width must be in 1..=64, got {bits}"
+        );
+        TimestampWidth(bits)
+    }
+
+    /// The width in bits.
+    pub fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// A mask with the low `bits()` bits set.
+    pub fn mask(self) -> u64 {
+        if self.0 == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.0) - 1
+        }
+    }
+
+    /// Truncates an unbounded cycle count to this width (models the counter
+    /// rolling over).
+    pub fn truncate(self, raw: u64) -> u64 {
+        raw & self.mask()
+    }
+
+    /// The rollover period: the counter repeats every `2^bits` cycles.
+    ///
+    /// Returns `None` for 64-bit counters (period does not fit in `u64`).
+    pub fn period(self) -> Option<u64> {
+        if self.0 == 64 {
+            None
+        } else {
+            Some(1u64 << self.0)
+        }
+    }
+}
+
+impl Default for TimestampWidth {
+    /// The paper's evaluated width: 32 bits.
+    fn default() -> Self {
+        TimestampWidth(32)
+    }
+}
+
+impl fmt::Display for TimestampWidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-bit", self.0)
+    }
+}
+
+/// A timestamp value as the hardware sees it: truncated to the counter width.
+///
+/// `WrappingTime` pairs the truncated value with its width so comparisons and
+/// rollover detection use the same semantics as the hardware comparator.
+///
+/// # Examples
+///
+/// ```
+/// use timecache_core::{TimestampWidth, WrappingTime};
+///
+/// let w = TimestampWidth::new(8);
+/// let ts = WrappingTime::from_cycle(98, w);
+/// // A later raw cycle whose truncated value is *smaller* reveals rollover.
+/// let now = WrappingTime::from_cycle(260, w); // 260 & 0xFF == 4
+/// assert!(ts.rollover_since(now));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WrappingTime {
+    value: u64,
+    width: TimestampWidth,
+}
+
+impl WrappingTime {
+    /// Builds a timestamp from an unbounded cycle count, truncating it to the
+    /// counter width.
+    pub fn from_cycle(raw: u64, width: TimestampWidth) -> Self {
+        WrappingTime {
+            value: width.truncate(raw),
+            width,
+        }
+    }
+
+    /// The truncated counter value.
+    pub fn value(self) -> u64 {
+        self.value
+    }
+
+    /// The counter width.
+    pub fn width(self) -> TimestampWidth {
+        self.width
+    }
+
+    /// The hardware comparator's predicate: is `tc` (a line fill time)
+    /// strictly newer than `self` (a process preemption time)?
+    ///
+    /// This is a plain unsigned comparison of truncated values — exactly what
+    /// the bit-serial comparator computes. It is only meaningful when no
+    /// rollover occurred between `self` and `tc`; rollover is handled
+    /// separately by [`WrappingTime::rollover_since`].
+    pub fn is_older_than_fill(self, tc: u64) -> bool {
+        debug_assert_eq!(tc, self.width.truncate(tc), "tc must be truncated");
+        tc > self.value
+    }
+
+    /// Rollover detection as performed at process resumption (Section VI-C):
+    /// the counter rolled over while the process was preempted iff the
+    /// truncated current time is *smaller* than the saved `Ts`.
+    ///
+    /// When this returns `true` the hardware conservatively resets **all**
+    /// s-bits for the resuming context, because newer lines may carry
+    /// rolled-over (smaller) `Tc` values that the plain comparison would miss.
+    ///
+    /// This truncated comparison alone cannot detect a preemption lasting
+    /// one or more *full* counter periods. Since trusted software keeps the
+    /// preemption time at full precision anyway, that case is caught by the
+    /// software-side check in [`crate::Snapshot::rollover_since`], which
+    /// composes this hardware check with an elapsed-time test.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` has a different width than `self`.
+    pub fn rollover_since(self, now: WrappingTime) -> bool {
+        assert_eq!(
+            self.width, now.width,
+            "comparing timestamps of different widths"
+        );
+        now.value < self.value
+    }
+}
+
+impl fmt::Display for WrappingTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.value, self.width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn width_masks() {
+        assert_eq!(TimestampWidth::new(1).mask(), 0b1);
+        assert_eq!(TimestampWidth::new(8).mask(), 0xFF);
+        assert_eq!(TimestampWidth::new(32).mask(), 0xFFFF_FFFF);
+        assert_eq!(TimestampWidth::new(64).mask(), u64::MAX);
+    }
+
+    #[test]
+    fn width_period() {
+        assert_eq!(TimestampWidth::new(8).period(), Some(256));
+        assert_eq!(TimestampWidth::new(64).period(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "timestamp width")]
+    fn zero_width_rejected() {
+        TimestampWidth::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "timestamp width")]
+    fn oversized_width_rejected() {
+        TimestampWidth::new(65);
+    }
+
+    #[test]
+    fn truncation_wraps() {
+        let w = TimestampWidth::new(8);
+        assert_eq!(w.truncate(255), 255);
+        assert_eq!(w.truncate(256), 0);
+        assert_eq!(w.truncate(511), 255);
+    }
+
+    #[test]
+    fn default_is_paper_width() {
+        assert_eq!(TimestampWidth::default().bits(), 32);
+    }
+
+    #[test]
+    fn fill_comparison_is_plain_unsigned() {
+        let w = TimestampWidth::new(8);
+        let ts = WrappingTime::from_cycle(100, w);
+        assert!(ts.is_older_than_fill(101));
+        assert!(!ts.is_older_than_fill(100));
+        assert!(!ts.is_older_than_fill(99));
+    }
+
+    #[test]
+    fn rollover_detected_when_now_wraps_below_ts() {
+        // Paper example with 2 decimal digits: preempted at 98, resumed at
+        // "105" which the counter shows as 5 -> rollover detected.
+        let w = TimestampWidth::new(8);
+        let ts = WrappingTime::from_cycle(250, w);
+        let now = WrappingTime::from_cycle(260, w); // truncates to 4
+        assert!(ts.rollover_since(now));
+    }
+
+    #[test]
+    fn no_rollover_when_time_moves_forward() {
+        let w = TimestampWidth::new(8);
+        let ts = WrappingTime::from_cycle(102, w);
+        let now = WrappingTime::from_cycle(105, w);
+        assert!(!ts.rollover_since(now));
+    }
+
+    #[test]
+    fn full_period_preemption_is_undetectable() {
+        // Documented hardware limitation: exactly one full period later the
+        // truncated values coincide and no rollover is flagged.
+        let w = TimestampWidth::new(8);
+        let ts = WrappingTime::from_cycle(10, w);
+        let now = WrappingTime::from_cycle(10 + 256, w);
+        assert!(!ts.rollover_since(now));
+    }
+
+    #[test]
+    fn display_formats() {
+        let w = TimestampWidth::new(8);
+        assert_eq!(WrappingTime::from_cycle(7, w).to_string(), "7@8-bit");
+    }
+}

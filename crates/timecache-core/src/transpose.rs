@@ -1,0 +1,216 @@
+//! Transposed SRAM array model for per-line timestamps.
+//!
+//! The paper stores the per-line fill timestamps `Tc` in a separate SRAM
+//! array built from 8-T multi-access cells (after Neural Cache, Eckert et
+//! al., ISCA 2018). The array supports two access modes:
+//!
+//! * **transpose interface** — used during normal cache operation to read or
+//!   write *one line's* timestamp (a whole word at a time), e.g. when a fill
+//!   updates `Tc`;
+//! * **regular bit-line interface** — used at context switches to read the
+//!   *same bit position of every line's timestamp simultaneously* (one
+//!   bit-plane per cycle), feeding the bit-serial comparator.
+//!
+//! [`TransposeArray`] models the array at that level: words are physically
+//! stored as bit-planes so the bit-plane read the comparator performs each
+//! cycle is a contiguous slice, exactly like enabling one word line of the
+//! transposed array.
+
+use crate::timestamp::TimestampWidth;
+use std::fmt;
+
+const WORD_BITS: usize = 64;
+
+/// An SRAM array of `num_words` timestamps, each `width` bits, stored
+/// transposed (as bit-planes).
+///
+/// Bit-plane `b` holds bit `b` of every word, packed 64 lines per `u64`.
+///
+/// # Examples
+///
+/// ```
+/// use timecache_core::{TransposeArray, TimestampWidth};
+///
+/// let mut t = TransposeArray::new(128, TimestampWidth::new(8));
+/// t.write_word(3, 0xAB);
+/// assert_eq!(t.read_word(3), 0xAB);
+/// // Bit-plane 0 has bit 0 of word 3 set (0xAB & 1 == 1).
+/// assert_eq!(t.bit_plane(0)[0] >> 3 & 1, 1);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct TransposeArray {
+    /// `planes[b]` = bit `b` of every word, `words_per_plane` u64s each.
+    planes: Vec<Vec<u64>>,
+    num_words: usize,
+    width: TimestampWidth,
+    words_per_plane: usize,
+}
+
+impl TransposeArray {
+    /// Creates an array of `num_words` zeroed timestamps of the given width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_words` is zero.
+    pub fn new(num_words: usize, width: TimestampWidth) -> Self {
+        assert!(num_words > 0, "transpose array must hold at least one word");
+        let words_per_plane = num_words.div_ceil(WORD_BITS);
+        TransposeArray {
+            planes: vec![vec![0; words_per_plane]; width.bits() as usize],
+            num_words,
+            width,
+            words_per_plane,
+        }
+    }
+
+    /// Number of timestamps stored (one per cache line).
+    pub fn num_words(&self) -> usize {
+        self.num_words
+    }
+
+    /// Timestamp width.
+    pub fn width(&self) -> TimestampWidth {
+        self.width
+    }
+
+    /// Writes one line's timestamp through the transpose interface,
+    /// truncating `value` to the array width (the hardware counter simply
+    /// has no more wires than that).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= num_words()`.
+    pub fn write_word(&mut self, index: usize, value: u64) {
+        self.bounds(index);
+        let value = self.width.truncate(value);
+        let (w, b) = (index / WORD_BITS, index % WORD_BITS);
+        for (bit, plane) in self.planes.iter_mut().enumerate() {
+            if value >> bit & 1 == 1 {
+                plane[w] |= 1 << b;
+            } else {
+                plane[w] &= !(1 << b);
+            }
+        }
+    }
+
+    /// Reads one line's timestamp through the transpose interface.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= num_words()`.
+    pub fn read_word(&self, index: usize) -> u64 {
+        self.bounds(index);
+        let (w, b) = (index / WORD_BITS, index % WORD_BITS);
+        self.planes
+            .iter()
+            .enumerate()
+            .fold(0, |acc, (bit, plane)| acc | (plane[w] >> b & 1) << bit)
+    }
+
+    /// Reads one bit-plane through the regular bit-line interface: bit
+    /// `bit` of every stored timestamp, packed 64 lines per `u64`.
+    ///
+    /// This is the operation the bit-serial comparator performs once per
+    /// cycle, most significant plane first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= width().bits()`.
+    pub fn bit_plane(&self, bit: u8) -> &[u64] {
+        assert!(
+            bit < self.width.bits(),
+            "bit plane {bit} out of range for {} timestamps",
+            self.width
+        );
+        &self.planes[bit as usize]
+    }
+
+    /// Number of `u64` words per bit-plane (the comparator mask length).
+    pub fn words_per_plane(&self) -> usize {
+        self.words_per_plane
+    }
+
+    fn bounds(&self, index: usize) {
+        assert!(
+            index < self.num_words,
+            "word index {index} out of bounds for {} words",
+            self.num_words
+        );
+    }
+}
+
+impl fmt::Debug for TransposeArray {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TransposeArray")
+            .field("num_words", &self.num_words)
+            .field("width", &self.width)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_roundtrip() {
+        let w = TimestampWidth::new(16);
+        let mut t = TransposeArray::new(200, w);
+        for i in 0..200 {
+            t.write_word(i, (i as u64).wrapping_mul(2654435761) & w.mask());
+        }
+        for i in 0..200 {
+            assert_eq!(
+                t.read_word(i),
+                (i as u64).wrapping_mul(2654435761) & w.mask()
+            );
+        }
+    }
+
+    #[test]
+    fn write_truncates_to_width() {
+        let mut t = TransposeArray::new(4, TimestampWidth::new(8));
+        t.write_word(0, 0x1FF);
+        assert_eq!(t.read_word(0), 0xFF);
+    }
+
+    #[test]
+    fn overwrite_clears_old_bits() {
+        let mut t = TransposeArray::new(4, TimestampWidth::new(8));
+        t.write_word(1, 0xFF);
+        t.write_word(1, 0x01);
+        assert_eq!(t.read_word(1), 0x01);
+    }
+
+    #[test]
+    fn bit_planes_are_transposed_view() {
+        let mut t = TransposeArray::new(70, TimestampWidth::new(4));
+        t.write_word(0, 0b1010);
+        t.write_word(69, 0b0101);
+        // Plane 1 (value bit 1) must have line 0 set, line 69 clear.
+        assert_eq!(t.bit_plane(1)[0] & 1, 1);
+        assert_eq!(t.bit_plane(1)[1] >> (69 - 64) & 1, 0);
+        // Plane 2 the other way round.
+        assert_eq!(t.bit_plane(2)[0] & 1, 0);
+        assert_eq!(t.bit_plane(2)[1] >> (69 - 64) & 1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn word_bounds_checked() {
+        TransposeArray::new(10, TimestampWidth::new(8)).read_word(10);
+    }
+
+    #[test]
+    #[should_panic(expected = "bit plane")]
+    fn plane_bounds_checked() {
+        let t = TransposeArray::new(10, TimestampWidth::new(8));
+        t.bit_plane(8);
+    }
+
+    #[test]
+    fn words_per_plane_rounds_up() {
+        let t = TransposeArray::new(65, TimestampWidth::new(8));
+        assert_eq!(t.words_per_plane(), 2);
+    }
+}

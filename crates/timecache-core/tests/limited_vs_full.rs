@@ -1,0 +1,138 @@
+//! Safety property of the limited-pointer representation: under any event
+//! sequence, a context that the limited tracker shows as *visible* is also
+//! visible under the full s-bit map — pointer overflow only ever revokes
+//! visibility (extra misses), never grants it (stale hits).
+
+use proptest::prelude::*;
+use timecache_core::{LimitedPointers, SBitArray};
+
+#[derive(Debug, Clone)]
+enum Ev {
+    Fill { line: usize, ctx: usize },
+    FirstAccess { line: usize, ctx: usize },
+    Evict { line: usize },
+    ResetCtx { ctx: usize },
+}
+
+fn ev(lines: usize, ctxs: usize) -> impl Strategy<Value = Ev> {
+    prop_oneof![
+        (0..lines, 0..ctxs).prop_map(|(line, ctx)| Ev::Fill { line, ctx }),
+        (0..lines, 0..ctxs).prop_map(|(line, ctx)| Ev::FirstAccess { line, ctx }),
+        (0..lines).prop_map(|line| Ev::Evict { line }),
+        (0..ctxs).prop_map(|ctx| Ev::ResetCtx { ctx }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn limited_is_never_more_permissive(
+        k in 1usize..4,
+        events in prop::collection::vec(ev(16, 6), 0..300),
+    ) {
+        const LINES: usize = 16;
+        const CTXS: usize = 6;
+        let mut limited = LimitedPointers::new(LINES, CTXS, k);
+        let mut full: Vec<SBitArray> = (0..CTXS).map(|_| SBitArray::new(LINES)).collect();
+
+        for e in events {
+            match e {
+                Ev::Fill { line, ctx } => {
+                    limited.set_exclusive(line, ctx);
+                    for (c, bits) in full.iter_mut().enumerate() {
+                        if c == ctx {
+                            bits.set(line);
+                        } else {
+                            bits.clear(line);
+                        }
+                    }
+                }
+                Ev::FirstAccess { line, ctx } => {
+                    limited.grant(line, ctx);
+                    full[ctx].set(line);
+                }
+                Ev::Evict { line } => {
+                    limited.clear_line(line);
+                    for bits in &mut full {
+                        bits.clear(line);
+                    }
+                }
+                Ev::ResetCtx { ctx } => {
+                    limited.clear_ctx(ctx);
+                    full[ctx].clear_all();
+                }
+            }
+            // Invariant: limited-visible ⇒ full-visible.
+            for line in 0..LINES {
+                for ctx in 0..CTXS {
+                    if limited.has(line, ctx) {
+                        prop_assert!(
+                            full[ctx].get(line),
+                            "line {} ctx {} visible in limited but not full",
+                            line,
+                            ctx
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// With k == num_contexts the representations are exactly equivalent
+    /// (enough slots for every context: nothing is ever revoked).
+    #[test]
+    fn full_k_is_exact(
+        events in prop::collection::vec(ev(12, 3), 0..200),
+    ) {
+        const LINES: usize = 12;
+        const CTXS: usize = 3;
+        let mut limited = LimitedPointers::new(LINES, CTXS, CTXS);
+        let mut full: Vec<SBitArray> = (0..CTXS).map(|_| SBitArray::new(LINES)).collect();
+
+        for e in events {
+            match e {
+                Ev::Fill { line, ctx } => {
+                    limited.set_exclusive(line, ctx);
+                    for (c, bits) in full.iter_mut().enumerate() {
+                        if c == ctx { bits.set(line); } else { bits.clear(line); }
+                    }
+                }
+                Ev::FirstAccess { line, ctx } => {
+                    limited.grant(line, ctx);
+                    full[ctx].set(line);
+                }
+                Ev::Evict { line } => {
+                    limited.clear_line(line);
+                    for bits in &mut full { bits.clear(line); }
+                }
+                Ev::ResetCtx { ctx } => {
+                    limited.clear_ctx(ctx);
+                    full[ctx].clear_all();
+                }
+            }
+        }
+        for line in 0..LINES {
+            for ctx in 0..CTXS {
+                prop_assert_eq!(limited.has(line, ctx), full[ctx].get(line));
+            }
+        }
+    }
+
+    /// Snapshot extraction/load round-trips through the packed bit form.
+    #[test]
+    fn extract_load_roundtrip(
+        grants in prop::collection::vec((0usize..16, 0usize..4), 0..64),
+    ) {
+        let mut a = LimitedPointers::new(16, 4, 2);
+        for (line, ctx) in grants {
+            a.grant(line, ctx);
+        }
+        for ctx in 0..4 {
+            let bits = a.extract_bits(ctx);
+            let mut b = LimitedPointers::new(16, 4, 2);
+            b.load_bits(ctx, &bits);
+            for line in 0..16 {
+                prop_assert_eq!(b.has(line, ctx), a.has(line, ctx));
+            }
+        }
+    }
+}

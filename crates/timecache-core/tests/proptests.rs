@@ -1,0 +1,291 @@
+//! Property-based tests for the TimeCache hardware mechanism.
+//!
+//! These verify the gate-level comparator against the functional predicate,
+//! the transpose array against a plain vector, and the central security
+//! invariant of the state machine: *a context never observes `Visible` for a
+//! line it has not itself paid a (first-access) miss for since the line's
+//! most recent fill*.
+
+use proptest::prelude::*;
+use timecache_core::{
+    BitSerialComparator, SBitArray, TimeCacheConfig, TimeCacheState, TimestampWidth,
+    TransposeArray, Visibility, WrappingTime,
+};
+
+proptest! {
+    /// The bit-serial circuit computes exactly `tc > ts` for every line.
+    #[test]
+    fn comparator_matches_functional_compare(
+        width in 1u8..=64,
+        ts_raw in any::<u64>(),
+        tcs in prop::collection::vec(any::<u64>(), 1..300),
+    ) {
+        let w = TimestampWidth::new(width);
+        let mut arr = TransposeArray::new(tcs.len(), w);
+        for (i, &v) in tcs.iter().enumerate() {
+            arr.write_word(i, v);
+        }
+        let ts = WrappingTime::from_cycle(ts_raw, w);
+        let out = BitSerialComparator::compare(&arr, ts);
+        for (i, &v) in tcs.iter().enumerate() {
+            let expected = w.truncate(v) > ts.value();
+            let got = out.reset_mask[i / 64] >> (i % 64) & 1 == 1;
+            prop_assert_eq!(got, expected, "line {} tc {} ts {}", i, v, ts_raw);
+        }
+        prop_assert_eq!(out.cycles, width as u64 + 1);
+    }
+
+    /// The comparator never flags phantom lines beyond the array length.
+    #[test]
+    fn comparator_mask_has_no_phantom_bits(
+        len in 1usize..200,
+        ts_raw in any::<u64>(),
+    ) {
+        let w = TimestampWidth::new(16);
+        let mut arr = TransposeArray::new(len, w);
+        for i in 0..len {
+            arr.write_word(i, u64::MAX); // everything maximally new
+        }
+        let out = BitSerialComparator::compare(&arr, WrappingTime::from_cycle(ts_raw, w));
+        let expected = if w.truncate(u64::MAX) > w.truncate(ts_raw) { len } else { 0 };
+        prop_assert_eq!(out.reset_count(), expected);
+    }
+
+    /// Transposed storage round-trips arbitrary word sequences.
+    #[test]
+    fn transpose_roundtrip(
+        width in 1u8..=64,
+        values in prop::collection::vec(any::<u64>(), 1..200),
+    ) {
+        let w = TimestampWidth::new(width);
+        let mut arr = TransposeArray::new(values.len(), w);
+        for (i, &v) in values.iter().enumerate() {
+            arr.write_word(i, v);
+        }
+        for (i, &v) in values.iter().enumerate() {
+            prop_assert_eq!(arr.read_word(i), w.truncate(v));
+        }
+    }
+
+    /// SBitArray behaves like a reference Vec<bool> under a random op
+    /// sequence (set / clear / reset-mask / clear_all).
+    #[test]
+    fn sbits_match_reference_model(
+        len in 1usize..200,
+        ops in prop::collection::vec((0u8..4, any::<usize>(), any::<u64>()), 0..100),
+    ) {
+        let mut s = SBitArray::new(len);
+        let mut model = vec![false; len];
+        for (op, idx, maskseed) in ops {
+            let idx = idx % len;
+            match op {
+                0 => { s.set(idx); model[idx] = true; }
+                1 => { s.clear(idx); model[idx] = false; }
+                2 => { s.clear_all(); model.fill(false); }
+                _ => {
+                    let words = len.div_ceil(64);
+                    let mask: Vec<u64> = (0..words)
+                        .map(|i| maskseed.rotate_left(i as u32 * 7))
+                        .collect();
+                    s.apply_reset_mask(&mask);
+                    for (i, m) in model.iter_mut().enumerate() {
+                        if mask[i / 64] >> (i % 64) & 1 == 1 {
+                            *m = false;
+                        }
+                    }
+                }
+            }
+        }
+        for (i, &m) in model.iter().enumerate() {
+            prop_assert_eq!(s.get(i), m, "bit {}", i);
+        }
+        prop_assert_eq!(s.count_set(), model.iter().filter(|&&b| b).count());
+    }
+}
+
+/// Random event trace over the full state machine, checked against a
+/// reference model that tracks, per (line, context), whether the context has
+/// accessed the line since its latest fill — including save/restore with an
+/// oracle that knows true (unbounded) time.
+#[derive(Debug, Clone)]
+enum Ev {
+    Fill { line: usize, ctx: usize },
+    Evict { line: usize },
+    Access { line: usize, ctx: usize },
+    SwitchOut { ctx: usize, slot: usize },
+    SwitchIn { ctx: usize, slot: usize },
+}
+
+fn ev_strategy(lines: usize, ctxs: usize, slots: usize) -> impl Strategy<Value = Ev> {
+    prop_oneof![
+        (0..lines, 0..ctxs).prop_map(|(line, ctx)| Ev::Fill { line, ctx }),
+        (0..lines).prop_map(|line| Ev::Evict { line }),
+        (0..lines, 0..ctxs).prop_map(|(line, ctx)| Ev::Access { line, ctx }),
+        (0..ctxs, 0..slots).prop_map(|(ctx, slot)| Ev::SwitchOut { ctx, slot }),
+        (0..ctxs, 0..slots).prop_map(|(ctx, slot)| Ev::SwitchIn { ctx, slot }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn state_machine_never_leaks_residency(
+        events in prop::collection::vec(ev_strategy(24, 2, 3), 0..200),
+    ) {
+        const LINES: usize = 24;
+        const CTXS: usize = 2;
+        // Wide counter: no rollover in this trace, so the hardware should
+        // *exactly* match the oracle (with narrow counters the hardware is
+        // allowed extra misses but never extra hits; covered below).
+        let mut hw = TimeCacheState::new(LINES, CTXS, TimeCacheConfig::new(32));
+        // Oracle: paid[line][ctx] = has the *currently mapped process* on ctx
+        // accessed the line since its last fill?
+        let mut paid = [[false; CTXS]; LINES];
+        // Saved oracle state per snapshot slot, parallel to hardware snapshots.
+        let mut hw_snaps: Vec<Option<timecache_core::Snapshot>> = vec![None; 3];
+        let mut oracle_snaps: Vec<Option<([bool; LINES], u64)>> = vec![None; 3];
+        // fill_time[line] in true time for the oracle.
+        let mut fill_time = [0u64; LINES];
+        let mut now = 1u64;
+
+        for ev in events {
+            now += 1;
+            match ev {
+                Ev::Fill { line, ctx } => {
+                    hw.on_fill(line, ctx, now);
+                    fill_time[line] = now;
+                    for c in 0..CTXS {
+                        paid[line][c] = c == ctx;
+                    }
+                }
+                Ev::Evict { line } => {
+                    hw.on_evict(line);
+                    for c in 0..CTXS {
+                        paid[line][c] = false;
+                    }
+                }
+                Ev::Access { line, ctx } => {
+                    let vis = hw.visibility(line, ctx);
+                    let expected = if paid[line][ctx] {
+                        Visibility::Visible
+                    } else {
+                        Visibility::FirstAccess
+                    };
+                    prop_assert_eq!(vis, expected, "line {} ctx {}", line, ctx);
+                    if vis == Visibility::FirstAccess {
+                        hw.record_first_access(line, ctx);
+                        paid[line][ctx] = true;
+                    }
+                }
+                Ev::SwitchOut { ctx, slot } => {
+                    hw_snaps[slot] = Some(hw.save_context(ctx, now));
+                    let mut bits = [false; LINES];
+                    for (line, row) in paid.iter().enumerate() {
+                        bits[line] = row[ctx];
+                    }
+                    oracle_snaps[slot] = Some((bits, now));
+                    // A different process takes the context: fresh view.
+                    hw.restore_context(ctx, None, now);
+                    for row in paid.iter_mut() {
+                        row[ctx] = false;
+                    }
+                }
+                Ev::SwitchIn { ctx, slot } => {
+                    let out = hw.restore_context(ctx, hw_snaps[slot].as_ref(), now);
+                    prop_assert!(!out.rollover, "32-bit counter cannot roll over here");
+                    match &oracle_snaps[slot] {
+                        Some((bits, ts)) => {
+                            for line in 0..LINES {
+                                // Valid iff paid at save time AND the line
+                                // was not refilled after the save.
+                                paid[line][ctx] = bits[line] && fill_time[line] <= *ts;
+                            }
+                        }
+                        None => {
+                            for row in paid.iter_mut() {
+                                row[ctx] = false;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Final visibility sweep must match the oracle everywhere.
+        for line in 0..LINES {
+            for ctx in 0..CTXS {
+                let expected = if paid[line][ctx] {
+                    Visibility::Visible
+                } else {
+                    Visibility::FirstAccess
+                };
+                prop_assert_eq!(hw.visibility(line, ctx), expected);
+            }
+        }
+    }
+
+    /// With a *narrow* (rollover-prone) counter the hardware may take extra
+    /// first-access misses but must never be more permissive than the
+    /// oracle: Visible implies the oracle says paid.
+    #[test]
+    fn narrow_counters_only_err_towards_misses(
+        events in prop::collection::vec(ev_strategy(16, 1, 2), 0..150),
+        step in 1u64..40,
+    ) {
+        const LINES: usize = 16;
+        let mut hw = TimeCacheState::new(LINES, 1, TimeCacheConfig::new(6));
+        let mut paid = [false; LINES];
+        let mut hw_snaps: Vec<Option<timecache_core::Snapshot>> = vec![None; 2];
+        let mut oracle_snaps: Vec<Option<([bool; LINES], u64)>> = vec![None; 2];
+        let mut fill_time = [0u64; LINES];
+        let mut now = 1u64;
+
+        for ev in events {
+            now += step; // large steps force frequent rollover of 6-bit counter
+            match ev {
+                Ev::Fill { line, .. } => {
+                    hw.on_fill(line, 0, now);
+                    fill_time[line] = now;
+                    paid[line] = true;
+                }
+                Ev::Evict { line } => {
+                    hw.on_evict(line);
+                    paid[line] = false;
+                }
+                Ev::Access { line, .. } => {
+                    if hw.visibility(line, 0) == Visibility::Visible {
+                        prop_assert!(paid[line], "stale hit on line {}", line);
+                    } else {
+                        hw.record_first_access(line, 0);
+                        paid[line] = true;
+                    }
+                }
+                Ev::SwitchOut { slot, .. } => {
+                    hw_snaps[slot] = Some(hw.save_context(0, now));
+                    let mut bits = [false; LINES];
+                    bits.copy_from_slice(&paid);
+                    oracle_snaps[slot] = Some((bits, now));
+                    hw.restore_context(0, None, now);
+                    paid.fill(false);
+                }
+                Ev::SwitchIn { slot, .. } => {
+                    hw.restore_context(0, hw_snaps[slot].as_ref(), now);
+                    match &oracle_snaps[slot] {
+                        Some((bits, ts)) => {
+                            for line in 0..LINES {
+                                paid[line] = bits[line] && fill_time[line] <= *ts;
+                            }
+                        }
+                        None => paid.fill(false),
+                    }
+                }
+            }
+        }
+
+        for line in 0..LINES {
+            if hw.visibility(line, 0) == Visibility::Visible {
+                prop_assert!(paid[line], "stale hit on line {} at end", line);
+            }
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Run reports: per-process and system-wide metrics.
+
+use crate::process::Pid;
+use timecache_sim::HierarchyStats;
+
+/// Per-process results of a [`crate::System::run`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProcessMetrics {
+    /// The process.
+    pub pid: Pid,
+    /// Program name.
+    pub name: String,
+    /// Instructions retired.
+    pub instructions: u64,
+    /// CPU cycles the process consumed on its context (excluding time it
+    /// spent preempted, including its share of switch costs).
+    pub cpu_cycles: u64,
+    /// Wall-clock cycle (context clock) at which the process completed.
+    pub completion_cycle: Option<u64>,
+    /// Whether it completed (program done or instruction target hit).
+    pub completed: bool,
+}
+
+impl ProcessMetrics {
+    /// Cycles per instruction, the per-process performance figure
+    /// normalized execution times are computed from.
+    pub fn cpi(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.cpu_cycles as f64 / self.instructions as f64
+        }
+    }
+}
+
+/// The outcome of a [`crate::System::run`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Per-process metrics, in spawn order.
+    pub processes: Vec<ProcessMetrics>,
+    /// The largest context clock when the run ended: total simulated time.
+    pub total_cycles: u64,
+    /// Total instructions retired by all processes.
+    pub total_instructions: u64,
+    /// Number of context switches performed.
+    pub context_switches: u64,
+    /// Cycles spent in context switches (base plus s-bit bookkeeping).
+    pub switch_cycles: u64,
+    /// Of `switch_cycles`, the TimeCache-specific share (s-bit DMA and
+    /// comparator) — the paper's 0.024 % component.
+    pub timecache_switch_cycles: u64,
+    /// Cache statistics accumulated over the run.
+    pub stats: HierarchyStats,
+}
+
+impl RunReport {
+    /// Whether every spawned process completed.
+    pub fn all_completed(&self) -> bool {
+        self.processes.iter().all(|p| p.completed)
+    }
+
+    /// LLC misses (including first-access misses) per thousand retired
+    /// instructions — Table II's MPKI columns.
+    pub fn llc_mpki(&self) -> f64 {
+        self.stats.llc.mpki(self.total_instructions)
+    }
+
+    /// First-access (delayed-access) MPKI at the LLC — Figs. 8/9b.
+    pub fn llc_first_access_mpki(&self) -> f64 {
+        self.stats.llc.first_access_mpki(self.total_instructions)
+    }
+
+    /// Metrics for one pid.
+    pub fn process(&self, pid: Pid) -> Option<&ProcessMetrics> {
+        self.processes.iter().find(|p| p.pid == pid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pm(cycles: u64, instrs: u64) -> ProcessMetrics {
+        ProcessMetrics {
+            pid: Pid(0),
+            name: "t".into(),
+            instructions: instrs,
+            cpu_cycles: cycles,
+            completion_cycle: Some(cycles),
+            completed: true,
+        }
+    }
+
+    #[test]
+    fn cpi_math() {
+        assert!((pm(1500, 1000).cpi() - 1.5).abs() < 1e-12);
+        assert_eq!(pm(10, 0).cpi(), 0.0);
+    }
+
+    #[test]
+    fn report_helpers() {
+        let r = RunReport {
+            processes: vec![pm(10, 10)],
+            total_cycles: 10,
+            total_instructions: 10_000,
+            context_switches: 0,
+            switch_cycles: 0,
+            timecache_switch_cycles: 0,
+            stats: HierarchyStats {
+                llc: timecache_sim::CacheStats {
+                    misses: 40,
+                    first_access: 10,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        };
+        assert!(r.all_completed());
+        assert!((r.llc_mpki() - 5.0).abs() < 1e-12);
+        assert!((r.llc_first_access_mpki() - 1.0).abs() < 1e-12);
+        assert!(r.process(Pid(0)).is_some());
+        assert!(r.process(Pid(9)).is_none());
+    }
+}

@@ -1,0 +1,179 @@
+//! Small built-in programs for tests, examples, and calibration.
+
+use crate::program::{DataKind, Op, Program};
+use timecache_sim::Addr;
+
+/// Loads sequentially through a buffer with a fixed stride, looping forever
+/// (bounded by the per-process instruction target).
+///
+/// Useful as a deterministic cache-filling workload.
+#[derive(Debug, Clone)]
+pub struct StridedLoop {
+    base: Addr,
+    bytes: u64,
+    stride: u64,
+    offset: u64,
+    pc: Addr,
+}
+
+impl StridedLoop {
+    /// A loop reading `bytes` bytes starting at `base`, `stride` bytes at a
+    /// time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` or `stride` is zero.
+    pub fn new(base: Addr, bytes: u64, stride: u64) -> Self {
+        assert!(bytes > 0 && stride > 0, "bytes and stride must be nonzero");
+        StridedLoop {
+            base,
+            bytes,
+            stride,
+            offset: 0,
+            pc: base ^ 0x7F00_0000, // code lives away from the data
+        }
+    }
+}
+
+impl Program for StridedLoop {
+    fn next_op(&mut self) -> Op {
+        let addr = self.base + self.offset;
+        self.offset = (self.offset + self.stride) % self.bytes;
+        // A tiny code loop: 8 distinct instruction lines.
+        self.pc = (self.pc & !0x1FF) | ((self.pc + 64) & 0x1FF);
+        Op::Instr {
+            pc: self.pc,
+            data: Some((DataKind::Load, addr)),
+        }
+    }
+
+    fn name(&self) -> &str {
+        "strided-loop"
+    }
+}
+
+/// Writes a value repeatedly to every line of a shared buffer, then yields —
+/// the victim half of the paper's Section VI-A.1 microbenchmark.
+#[derive(Debug, Clone)]
+pub struct SharedWriter {
+    base: Addr,
+    lines: u64,
+    line_size: u64,
+    next: u64,
+    pc: Addr,
+}
+
+impl SharedWriter {
+    /// A writer touching `lines` cache lines starting at `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lines` is zero or `line_size` is not a power of two.
+    pub fn new(base: Addr, lines: u64, line_size: u64) -> Self {
+        assert!(lines > 0, "need at least one line");
+        assert!(line_size.is_power_of_two(), "line size must be 2^k");
+        SharedWriter {
+            base,
+            lines,
+            line_size,
+            next: 0,
+            pc: 0x4400_0000,
+        }
+    }
+}
+
+impl Program for SharedWriter {
+    fn next_op(&mut self) -> Op {
+        let addr = self.base + self.next * self.line_size;
+        self.next += 1;
+        if self.next > self.lines {
+            self.next = 0;
+            return Op::Yield { pc: self.pc };
+        }
+        Op::Instr {
+            pc: self.pc,
+            data: Some((DataKind::Store, addr)),
+        }
+    }
+
+    fn name(&self) -> &str {
+        "shared-writer"
+    }
+}
+
+/// Retires `n` arithmetic instructions (no data accesses), then finishes.
+#[derive(Debug, Clone)]
+pub struct Spin {
+    remaining: u64,
+    pc: Addr,
+}
+
+impl Spin {
+    /// A program of `n` no-memory instructions.
+    pub fn new(n: u64) -> Self {
+        Spin {
+            remaining: n,
+            pc: 0x5500_0000,
+        }
+    }
+}
+
+impl Program for Spin {
+    fn next_op(&mut self) -> Op {
+        if self.remaining == 0 {
+            return Op::Done;
+        }
+        self.remaining -= 1;
+        Op::Instr {
+            pc: self.pc,
+            data: None,
+        }
+    }
+
+    fn name(&self) -> &str {
+        "spin"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strided_loop_wraps() {
+        let mut p = StridedLoop::new(0x1000, 128, 64);
+        let addrs: Vec<_> = (0..4)
+            .map(|_| match p.next_op() {
+                Op::Instr {
+                    data: Some((_, a)), ..
+                } => a,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(addrs, vec![0x1000, 0x1040, 0x1000, 0x1040]);
+    }
+
+    #[test]
+    fn shared_writer_yields_after_sweep() {
+        let mut p = SharedWriter::new(0x2000, 2, 64);
+        assert!(matches!(p.next_op(), Op::Instr { data: Some((DataKind::Store, 0x2000)), .. }));
+        assert!(matches!(p.next_op(), Op::Instr { data: Some((DataKind::Store, 0x2040)), .. }));
+        assert!(matches!(p.next_op(), Op::Yield { .. }));
+        // And starts over.
+        assert!(matches!(p.next_op(), Op::Instr { data: Some((DataKind::Store, 0x2000)), .. }));
+    }
+
+    #[test]
+    fn spin_terminates() {
+        let mut p = Spin::new(2);
+        assert!(matches!(p.next_op(), Op::Instr { data: None, .. }));
+        assert!(matches!(p.next_op(), Op::Instr { data: None, .. }));
+        assert_eq!(p.next_op(), Op::Done);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn strided_loop_validates() {
+        StridedLoop::new(0, 0, 64);
+    }
+}

@@ -1,0 +1,563 @@
+//! The full-system runner: cores, scheduler, and the hierarchy.
+
+use crate::metrics::{ProcessMetrics, RunReport};
+use crate::process::{Pid, Process};
+use crate::program::{DataKind, Observation, Op, Program};
+use crate::switch::SwitchCostModel;
+use std::collections::VecDeque;
+use timecache_sim::{AccessKind, ConfigError, Hierarchy, HierarchyConfig};
+
+/// System-level configuration: the hierarchy plus scheduling parameters.
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// Cache hierarchy configuration (cores, sizes, security mode).
+    pub hierarchy: HierarchyConfig,
+    /// Scheduler time slice in cycles. The default, 2 M cycles, is 1 ms at
+    /// the paper's 2 GHz — the low end of typical Linux time slices.
+    pub quantum_cycles: u64,
+    /// Context-switch cost model.
+    pub switch_cost: SwitchCostModel,
+    /// Ablation knob: when set, the scheduler never saves or restores
+    /// s-bit snapshots — every switch resets the caching context, which is
+    /// behaviourally equivalent to flushing visibility on context switches
+    /// (the expensive design Section V-B argues against).
+    pub discard_snapshots: bool,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig {
+            hierarchy: HierarchyConfig::default(),
+            quantum_cycles: 2_000_000,
+            switch_cost: SwitchCostModel::default(),
+            discard_snapshots: false,
+        }
+    }
+}
+
+/// Per-hardware-context scheduler state.
+#[derive(Debug)]
+struct ContextState {
+    core: usize,
+    thread: usize,
+    /// Local cycle clock of this context.
+    clock: u64,
+    /// Runnable processes (indices into `System::processes`).
+    queue: VecDeque<usize>,
+    /// Currently dispatched process.
+    current: Option<usize>,
+    /// Cycles left in the current quantum.
+    quantum_left: u64,
+    /// Whether any process has ever been dispatched here (the first
+    /// dispatch is free: the machine is booting, not switching).
+    ever_dispatched: bool,
+    /// The process that most recently occupied this context. Re-dispatching
+    /// the same process with no intervening occupant is not a context
+    /// switch (the paper's trigger is a CR3 *change*): the hardware s-bits
+    /// are already this process's own and stay untouched.
+    last_process: Option<usize>,
+}
+
+/// A simulated machine: a [`Hierarchy`], a set of processes, and a
+/// round-robin scheduler per hardware context.
+///
+/// Multi-context execution is interleaved causally: the context with the
+/// smallest local clock always executes next, so cross-context interactions
+/// (shared lines, coherence) happen in global time order.
+pub struct System {
+    cfg: SystemConfig,
+    hier: Hierarchy,
+    processes: Vec<Process>,
+    /// Hardware-context index each process is pinned to, parallel to
+    /// `processes`.
+    affinity: Vec<usize>,
+    contexts: Vec<ContextState>,
+    switches: u64,
+    switch_cycles: u64,
+    tc_switch_cycles: u64,
+}
+
+impl System {
+    /// Builds a system.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if the hierarchy configuration is invalid.
+    pub fn new(cfg: SystemConfig) -> Result<Self, ConfigError> {
+        let hier = Hierarchy::new(cfg.hierarchy.clone())?;
+        let contexts = (0..cfg.hierarchy.cores)
+            .flat_map(|core| {
+                (0..cfg.hierarchy.smt_per_core).map(move |thread| ContextState {
+                    core,
+                    thread,
+                    clock: 0,
+                    queue: VecDeque::new(),
+                    current: None,
+                    quantum_left: 0,
+                    ever_dispatched: false,
+                    last_process: None,
+                })
+            })
+            .collect();
+        Ok(System {
+            cfg,
+            hier,
+            processes: Vec::new(),
+            affinity: Vec::new(),
+            contexts,
+            switches: 0,
+            switch_cycles: 0,
+            tc_switch_cycles: 0,
+        })
+    }
+
+    /// Spawns `program` pinned to hardware context `(core, thread)`,
+    /// optionally capped at `target_instructions`. Returns the new pid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(core, thread)` does not exist.
+    pub fn spawn(
+        &mut self,
+        program: Box<dyn Program>,
+        core: usize,
+        thread: usize,
+        target_instructions: Option<u64>,
+    ) -> Pid {
+        let ctx = self
+            .context_index(core, thread)
+            .unwrap_or_else(|| panic!("no hardware context ({core},{thread})"));
+        let pid = Pid(self.processes.len() as u32);
+        self.processes
+            .push(Process::new(pid, program, target_instructions));
+        self.affinity.push(ctx);
+        let idx = self.processes.len() - 1;
+        self.contexts[ctx].queue.push_back(idx);
+        pid
+    }
+
+    /// The simulated hierarchy (for inspection).
+    pub fn hierarchy(&self) -> &Hierarchy {
+        &self.hier
+    }
+
+    /// The system configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Clears cache statistics (e.g. after a warm-up run).
+    pub fn reset_stats(&mut self) {
+        self.hier.reset_stats();
+    }
+
+    /// The largest context clock so far (total simulated cycles).
+    pub fn total_cycles(&self) -> u64 {
+        self.contexts.iter().map(|c| c.clock).max().unwrap_or(0)
+    }
+
+    /// Extends a completed (or running) process's instruction target by
+    /// `extra` instructions and re-queues it if it had finished, enabling
+    /// warm-up/measure phased runs:
+    ///
+    /// ```
+    /// use timecache_os::{System, SystemConfig, programs::Spin};
+    ///
+    /// let mut sys = System::new(SystemConfig::default()).expect("valid");
+    /// let pid = sys.spawn(Box::new(Spin::new(u64::MAX)), 0, 0, Some(1_000));
+    /// sys.run(u64::MAX);                  // warm-up phase
+    /// let warm = sys.total_cycles();
+    /// sys.reset_stats();
+    /// sys.extend_target(pid, 4_000);
+    /// let report = sys.run(u64::MAX);     // measurement phase
+    /// assert!(report.total_cycles > warm);
+    /// assert_eq!(report.process(pid).unwrap().instructions, 5_000);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` does not exist, the process has no instruction
+    /// target, or its program already returned `Done`.
+    pub fn extend_target(&mut self, pid: Pid, extra: u64) {
+        let pi = self
+            .processes
+            .iter()
+            .position(|p| p.pid() == pid)
+            .unwrap_or_else(|| panic!("{pid} does not exist"));
+        let p = &mut self.processes[pi];
+        let target = p
+            .target_instructions
+            .unwrap_or_else(|| panic!("{pid} has no instruction target"));
+        assert!(
+            p.completed || p.instructions < target,
+            "{pid}'s program finished on its own; cannot extend"
+        );
+        p.target_instructions = Some(target + extra);
+        if p.completed {
+            p.completed = false;
+            p.completion_cycle = None;
+            // Re-queue on the context that hosted it (processes are pinned).
+            let ctx = self
+                .contexts
+                .iter()
+                .position(|c| c.queue.contains(&pi) || c.current == Some(pi))
+                .unwrap_or_else(|| {
+                    // Not queued anywhere: find its original context by
+                    // searching for the context with matching affinity. The
+                    // spawn pinned it; completed processes leave no trace,
+                    // so remember affinity per process instead.
+                    self.affinity[pi]
+                });
+            self.contexts[ctx].queue.push_back(pi);
+        }
+    }
+
+    /// Runs until every process completes or the global clock passes
+    /// `max_cycles` (a safety valve for non-terminating programs; those are
+    /// reported with `completed == false`).
+    pub fn run(&mut self, max_cycles: u64) -> RunReport {
+        loop {
+            let Some(ctx) = self.next_runnable_context(max_cycles) else {
+                break;
+            };
+            if self.contexts[ctx].current.is_none() {
+                self.dispatch(ctx);
+                continue;
+            }
+            self.step(ctx);
+        }
+        self.report()
+    }
+
+    // ------------------------------------------------------------------
+
+    fn context_index(&self, core: usize, thread: usize) -> Option<usize> {
+        self.contexts
+            .iter()
+            .position(|c| c.core == core && c.thread == thread)
+    }
+
+    /// The context with the smallest clock that still has work to do.
+    fn next_runnable_context(&self, max_cycles: u64) -> Option<usize> {
+        self.contexts
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| {
+                (c.current.is_some() || !c.queue.is_empty()) && c.clock < max_cycles
+            })
+            .min_by_key(|(_, c)| c.clock)
+            .map(|(i, _)| i)
+    }
+
+    /// Brings the next queued process onto the context, restoring its
+    /// caching context and charging the switch cost (except at boot).
+    fn dispatch(&mut self, ctx: usize) {
+        let Some(next) = self.contexts[ctx].queue.pop_front() else {
+            return;
+        };
+        let (core, thread) = (self.contexts[ctx].core, self.contexts[ctx].thread);
+        let now = self.contexts[ctx].clock;
+
+        // No CR3 change, no switch: the same process resuming on the same
+        // context keeps its live hardware s-bits (this happens when a
+        // single-process context renews across phased runs).
+        if self.contexts[ctx].last_process != Some(next) {
+            let snapshot = if self.processes[next].has_run && !self.cfg.discard_snapshots {
+                self.processes[next].snapshot.clone()
+            } else {
+                None
+            };
+            let cost = self.hier.restore_context(core, thread, snapshot.as_ref(), now);
+
+            if self.contexts[ctx].ever_dispatched {
+                let cycles = self.cfg.switch_cost.cycles(&cost);
+                self.contexts[ctx].clock += cycles;
+                self.switches += 1;
+                self.switch_cycles += cycles;
+                self.tc_switch_cycles += self.cfg.switch_cost.timecache_overhead_cycles(&cost);
+            }
+        }
+        self.contexts[ctx].ever_dispatched = true;
+        self.contexts[ctx].last_process = Some(next);
+        self.contexts[ctx].current = Some(next);
+        self.contexts[ctx].quantum_left = self.cfg.quantum_cycles;
+        self.processes[next].has_run = true;
+    }
+
+    /// Executes one instruction of the context's current process.
+    fn step(&mut self, ctx: usize) {
+        let pi = self.contexts[ctx].current.expect("step needs a process");
+        let (core, thread) = (self.contexts[ctx].core, self.contexts[ctx].thread);
+        let l1_hit = self.cfg.hierarchy.latencies.l1_hit;
+
+        let op = self.processes[pi].program.next_op();
+        if op == Op::Done {
+            self.complete(ctx, pi);
+            return;
+        }
+
+        let now = self.contexts[ctx].clock;
+        let mut cycles = 1u64; // base CPI of the in-order core
+        let mut data_latency = None;
+        let mut flush_latency = None;
+        let mut yielded = false;
+
+        let pc = match op {
+            Op::Instr { pc, .. } | Op::Flush { pc, .. } | Op::Yield { pc } => pc,
+            Op::Done => unreachable!(),
+        };
+        // Instruction fetch: hits are fully pipelined; only miss latency
+        // beyond an L1 hit stalls the core.
+        let ifetch = self.hier.access(core, thread, AccessKind::IFetch, pc, now);
+        cycles += ifetch.latency.saturating_sub(l1_hit);
+
+        match op {
+            Op::Instr { data, .. } => {
+                if let Some((kind, addr)) = data {
+                    let ak = match kind {
+                        DataKind::Load => AccessKind::Load,
+                        DataKind::Store => AccessKind::Store,
+                    };
+                    let out = self.hier.access(core, thread, ak, addr, now + cycles);
+                    cycles += out.latency.saturating_sub(l1_hit);
+                    data_latency = Some(out.latency);
+                }
+            }
+            Op::Flush { target, .. } => {
+                let lat = self.hier.clflush(target);
+                cycles += lat;
+                flush_latency = Some(lat);
+            }
+            Op::Yield { .. } => {
+                yielded = true;
+            }
+            Op::Done => unreachable!(),
+        }
+
+        self.contexts[ctx].clock += cycles;
+        self.contexts[ctx].quantum_left = self.contexts[ctx].quantum_left.saturating_sub(cycles);
+        self.processes[pi].instructions += 1;
+        self.processes[pi].cpu_cycles += cycles;
+
+        let obs = Observation {
+            instr_index: self.processes[pi].instructions - 1,
+            data_latency,
+            flush_latency,
+            now: self.contexts[ctx].clock,
+        };
+        self.processes[pi].program.observe(obs);
+
+        let target_hit = self.processes[pi]
+            .target_instructions
+            .is_some_and(|t| self.processes[pi].instructions >= t);
+        if target_hit {
+            self.complete(ctx, pi);
+            return;
+        }
+
+        if yielded || self.contexts[ctx].quantum_left == 0 {
+            self.preempt(ctx, pi);
+        }
+    }
+
+    /// Takes the current process off the context, saving its caching
+    /// context, and re-queues it.
+    fn preempt(&mut self, ctx: usize, pi: usize) {
+        let (core, thread) = (self.contexts[ctx].core, self.contexts[ctx].thread);
+        let now = self.contexts[ctx].clock;
+        if self.contexts[ctx].queue.is_empty() {
+            // Nobody to switch to: keep running with a fresh quantum.
+            self.contexts[ctx].quantum_left = self.cfg.quantum_cycles;
+            return;
+        }
+        if !self.cfg.discard_snapshots {
+            self.processes[pi].snapshot = Some(self.hier.save_context(core, thread, now));
+        }
+        self.contexts[ctx].queue.push_back(pi);
+        self.contexts[ctx].current = None;
+    }
+
+    /// Marks a process finished and frees the context.
+    fn complete(&mut self, ctx: usize, pi: usize) {
+        self.processes[pi].completed = true;
+        self.processes[pi].completion_cycle = Some(self.contexts[ctx].clock);
+        self.contexts[ctx].current = None;
+    }
+
+    fn report(&self) -> RunReport {
+        let processes = self
+            .processes
+            .iter()
+            .map(|p| ProcessMetrics {
+                pid: p.pid(),
+                name: p.name().to_owned(),
+                instructions: p.instructions,
+                cpu_cycles: p.cpu_cycles,
+                completion_cycle: p.completion_cycle,
+                completed: p.completed,
+            })
+            .collect();
+        RunReport {
+            processes,
+            total_cycles: self.contexts.iter().map(|c| c.clock).max().unwrap_or(0),
+            total_instructions: self.processes.iter().map(|p| p.instructions).sum(),
+            context_switches: self.switches,
+            switch_cycles: self.switch_cycles,
+            timecache_switch_cycles: self.tc_switch_cycles,
+            stats: self.hier.stats(),
+        }
+    }
+}
+
+impl std::fmt::Debug for System {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("System")
+            .field("processes", &self.processes.len())
+            .field("contexts", &self.contexts.len())
+            .field("switches", &self.switches)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::programs::{SharedWriter, Spin, StridedLoop};
+    use timecache_sim::SecurityMode;
+
+    fn sys(security: SecurityMode, cores: usize) -> System {
+        let mut cfg = SystemConfig::default();
+        cfg.hierarchy.cores = cores;
+        cfg.hierarchy.security = security;
+        cfg.quantum_cycles = 10_000;
+        System::new(cfg).unwrap()
+    }
+
+    #[test]
+    fn single_process_runs_to_target() {
+        let mut s = sys(SecurityMode::Baseline, 1);
+        s.spawn(Box::new(Spin::new(u64::MAX)), 0, 0, Some(1000));
+        let r = s.run(10_000_000);
+        assert!(r.all_completed());
+        assert_eq!(r.processes[0].instructions, 1000);
+        assert_eq!(r.context_switches, 0, "nothing to switch to");
+        assert!(r.total_cycles >= 1000);
+    }
+
+    #[test]
+    fn program_done_terminates() {
+        let mut s = sys(SecurityMode::Baseline, 1);
+        s.spawn(Box::new(Spin::new(50)), 0, 0, None);
+        let r = s.run(1_000_000);
+        assert!(r.all_completed());
+        assert_eq!(r.processes[0].instructions, 50);
+    }
+
+    #[test]
+    fn two_processes_round_robin() {
+        let mut s = sys(SecurityMode::Baseline, 1);
+        s.spawn(Box::new(Spin::new(u64::MAX)), 0, 0, Some(30_000));
+        s.spawn(Box::new(Spin::new(u64::MAX)), 0, 0, Some(30_000));
+        let r = s.run(100_000_000);
+        assert!(r.all_completed());
+        assert!(r.context_switches >= 4, "switches: {}", r.context_switches);
+        assert!(r.switch_cycles > 0);
+        // Baseline: no TimeCache bookkeeping.
+        assert_eq!(r.timecache_switch_cycles, 0);
+    }
+
+    #[test]
+    fn timecache_switches_cost_more() {
+        use timecache_core::TimeCacheConfig;
+        let mut base = sys(SecurityMode::Baseline, 1);
+        base.spawn(Box::new(Spin::new(u64::MAX)), 0, 0, Some(20_000));
+        base.spawn(Box::new(Spin::new(u64::MAX)), 0, 0, Some(20_000));
+        let rb = base.run(100_000_000);
+
+        let mut tc = sys(SecurityMode::TimeCache(TimeCacheConfig::default()), 1);
+        tc.spawn(Box::new(Spin::new(u64::MAX)), 0, 0, Some(20_000));
+        tc.spawn(Box::new(Spin::new(u64::MAX)), 0, 0, Some(20_000));
+        let rt = tc.run(100_000_000);
+
+        assert!(rt.timecache_switch_cycles > 0);
+        assert!(rt.switch_cycles > rb.switch_cycles);
+    }
+
+    #[test]
+    fn yield_hands_over_the_cpu() {
+        // A SharedWriter yields after each sweep; a Spin shares the core.
+        let mut s = sys(SecurityMode::Baseline, 1);
+        s.spawn(Box::new(SharedWriter::new(0x9000, 4, 64)), 0, 0, Some(100));
+        s.spawn(Box::new(SharedWriter::new(0xA000, 4, 64)), 0, 0, Some(100));
+        let r = s.run(10_000_000);
+        assert!(r.all_completed());
+        // Both writers yield every 5 instructions, forcing many switches —
+        // far more than the quantum alone (10k cycles) would produce.
+        assert!(r.context_switches > 20, "switches {}", r.context_switches);
+    }
+
+    #[test]
+    fn multicore_contexts_advance_in_causal_order() {
+        let mut s = sys(SecurityMode::Baseline, 2);
+        s.spawn(Box::new(StridedLoop::new(0x10_0000, 4096, 64)), 0, 0, Some(5000));
+        s.spawn(Box::new(StridedLoop::new(0x20_0000, 4096, 64)), 1, 0, Some(5000));
+        let r = s.run(10_000_000);
+        assert!(r.all_completed());
+        assert_eq!(r.context_switches, 0);
+        let s = &r.stats;
+        assert!(s.l1d[0].accesses > 0 && s.l1d[1].accesses > 0);
+    }
+
+    #[test]
+    fn memory_traffic_is_accounted() {
+        let mut s = sys(SecurityMode::Baseline, 1);
+        s.spawn(Box::new(StridedLoop::new(0x10_0000, 256 * 1024, 64)), 0, 0, Some(8192));
+        let r = s.run(100_000_000);
+        // 256 KiB working set exceeds the 32 KiB L1D: every load misses L1.
+        assert!(r.stats.l1d[0].misses > 3000, "{:?}", r.stats.l1d[0]);
+        // CPI well above 1 due to stalls.
+        assert!(r.processes[0].cpi() > 1.5);
+    }
+
+    #[test]
+    fn run_limit_stops_nonterminating_programs() {
+        let mut s = sys(SecurityMode::Baseline, 1);
+        s.spawn(Box::new(Spin::new(u64::MAX)), 0, 0, None);
+        let r = s.run(10_000);
+        assert!(!r.all_completed());
+        assert!(r.total_cycles >= 10_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "no hardware context")]
+    fn spawn_checks_context() {
+        let mut s = sys(SecurityMode::Baseline, 1);
+        s.spawn(Box::new(Spin::new(1)), 3, 0, None);
+    }
+
+    #[test]
+    fn extend_target_supports_phased_runs() {
+        let mut s = sys(SecurityMode::Baseline, 1);
+        let a = s.spawn(Box::new(Spin::new(u64::MAX)), 0, 0, Some(1_000));
+        let b = s.spawn(Box::new(Spin::new(u64::MAX)), 0, 0, Some(1_000));
+        let warm = s.run(u64::MAX);
+        assert!(warm.all_completed());
+        let warm_cycles = s.total_cycles();
+
+        s.reset_stats();
+        s.extend_target(a, 2_000);
+        s.extend_target(b, 2_000);
+        let r = s.run(u64::MAX);
+        assert!(r.all_completed());
+        assert_eq!(r.process(a).unwrap().instructions, 3_000);
+        assert_eq!(r.process(b).unwrap().instructions, 3_000);
+        assert!(r.total_cycles > warm_cycles);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not exist")]
+    fn extend_target_checks_pid() {
+        let mut s = sys(SecurityMode::Baseline, 1);
+        s.extend_target(crate::Pid(9), 1);
+    }
+}

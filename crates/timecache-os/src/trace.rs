@@ -1,0 +1,309 @@
+//! Trace recording and replay.
+//!
+//! Execution-driven programs are the primary interface, but a trace-driven
+//! mode is valuable for reproducibility (capture an interesting run once,
+//! replay it bit-for-bit), for cross-tool comparison (feed the same trace
+//! to another simulator), and for regression-pinning workloads in tests.
+//!
+//! [`Recorder`] wraps any [`Program`] and logs every op it emits;
+//! [`TraceProgram`] replays a recorded op stream. A compact text
+//! serialization (one op per line) keeps traces diffable and
+//! storable as fixtures.
+
+use crate::program::{DataKind, Observation, Op, Program};
+use std::cell::RefCell;
+use std::fmt::Write as _;
+use std::rc::Rc;
+
+/// A recorded instruction trace.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    ops: Vec<Op>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// The recorded ops.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Number of recorded ops.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Appends one op.
+    pub fn push(&mut self, op: Op) {
+        self.ops.push(op);
+    }
+
+    /// Serializes to the line-oriented text format:
+    ///
+    /// ```text
+    /// I <pc>                 # instruction without data access
+    /// L <pc> <addr>          # load
+    /// S <pc> <addr>          # store
+    /// F <pc> <target>        # clflush
+    /// Y <pc>                 # yield
+    /// D                      # done
+    /// ```
+    ///
+    /// Addresses are lowercase hex without prefix.
+    pub fn to_text(&self) -> String {
+        let mut out = String::with_capacity(self.ops.len() * 16);
+        for op in &self.ops {
+            match *op {
+                Op::Instr { pc, data: None } => {
+                    let _ = writeln!(out, "I {pc:x}");
+                }
+                Op::Instr {
+                    pc,
+                    data: Some((DataKind::Load, a)),
+                } => {
+                    let _ = writeln!(out, "L {pc:x} {a:x}");
+                }
+                Op::Instr {
+                    pc,
+                    data: Some((DataKind::Store, a)),
+                } => {
+                    let _ = writeln!(out, "S {pc:x} {a:x}");
+                }
+                Op::Flush { pc, target } => {
+                    let _ = writeln!(out, "F {pc:x} {target:x}");
+                }
+                Op::Yield { pc } => {
+                    let _ = writeln!(out, "Y {pc:x}");
+                }
+                Op::Done => {
+                    let _ = writeln!(out, "D");
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses the text format produced by [`Trace::to_text`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed line.
+    pub fn from_text(text: &str) -> Result<Self, String> {
+        let mut ops = Vec::new();
+        for (no, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let tag = parts.next().expect("nonempty line");
+            let mut hex = |name: &str| -> Result<u64, String> {
+                let tok = parts
+                    .next()
+                    .ok_or_else(|| format!("line {}: missing {name}", no + 1))?;
+                u64::from_str_radix(tok, 16)
+                    .map_err(|e| format!("line {}: bad {name} ({e})", no + 1))
+            };
+            let op = match tag {
+                "I" => Op::Instr {
+                    pc: hex("pc")?,
+                    data: None,
+                },
+                "L" => Op::Instr {
+                    pc: hex("pc")?,
+                    data: Some((DataKind::Load, hex("addr")?)),
+                },
+                "S" => Op::Instr {
+                    pc: hex("pc")?,
+                    data: Some((DataKind::Store, hex("addr")?)),
+                },
+                "F" => Op::Flush {
+                    pc: hex("pc")?,
+                    target: hex("target")?,
+                },
+                "Y" => Op::Yield { pc: hex("pc")? },
+                "D" => Op::Done,
+                other => return Err(format!("line {}: unknown tag {other:?}", no + 1)),
+            };
+            ops.push(op);
+        }
+        Ok(Trace { ops })
+    }
+}
+
+/// Shared handle to a trace being recorded.
+pub type TraceHandle = Rc<RefCell<Trace>>;
+
+/// Wraps a program, recording every op it emits (including the final
+/// `Done`) into a shared [`Trace`].
+pub struct Recorder<P> {
+    inner: P,
+    trace: TraceHandle,
+}
+
+impl<P: Program> Recorder<P> {
+    /// Wraps `inner`; read the trace from the returned handle after the
+    /// run.
+    pub fn new(inner: P) -> (Self, TraceHandle) {
+        let trace: TraceHandle = Rc::new(RefCell::new(Trace::new()));
+        (
+            Recorder {
+                inner,
+                trace: Rc::clone(&trace),
+            },
+            trace,
+        )
+    }
+}
+
+impl<P: Program> Program for Recorder<P> {
+    fn next_op(&mut self) -> Op {
+        let op = self.inner.next_op();
+        self.trace.borrow_mut().push(op);
+        op
+    }
+
+    fn observe(&mut self, obs: Observation) {
+        self.inner.observe(obs);
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+}
+
+impl<P: std::fmt::Debug> std::fmt::Debug for Recorder<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recorder").field("inner", &self.inner).finish()
+    }
+}
+
+/// Replays a [`Trace`] as a program. Emits `Done` forever once exhausted.
+#[derive(Debug, Clone)]
+pub struct TraceProgram {
+    trace: Trace,
+    cursor: usize,
+    name: String,
+}
+
+impl TraceProgram {
+    /// Builds a replayer.
+    pub fn new(trace: Trace, name: impl Into<String>) -> Self {
+        TraceProgram {
+            trace,
+            cursor: 0,
+            name: name.into(),
+        }
+    }
+}
+
+impl Program for TraceProgram {
+    fn next_op(&mut self) -> Op {
+        match self.trace.ops().get(self.cursor) {
+            Some(&op) => {
+                self.cursor += 1;
+                op
+            }
+            None => Op::Done,
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::programs::{SharedWriter, Spin};
+    use crate::{System, SystemConfig};
+
+    #[test]
+    fn text_roundtrip_covers_every_op() {
+        let mut t = Trace::new();
+        t.push(Op::Instr { pc: 0x10, data: None });
+        t.push(Op::Instr {
+            pc: 0x20,
+            data: Some((DataKind::Load, 0xABC)),
+        });
+        t.push(Op::Instr {
+            pc: 0x30,
+            data: Some((DataKind::Store, 0xDEF)),
+        });
+        t.push(Op::Flush {
+            pc: 0x40,
+            target: 0x123,
+        });
+        t.push(Op::Yield { pc: 0x50 });
+        t.push(Op::Done);
+        let text = t.to_text();
+        assert_eq!(Trace::from_text(&text).unwrap(), t);
+    }
+
+    #[test]
+    fn parser_skips_blank_and_comment_lines() {
+        let t = Trace::from_text("# header\n\nI 10\n  # trailing\nD\n").unwrap();
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn parser_reports_bad_lines() {
+        assert!(Trace::from_text("X 10").unwrap_err().contains("unknown tag"));
+        assert!(Trace::from_text("L 10").unwrap_err().contains("missing addr"));
+        assert!(Trace::from_text("L zz 10").unwrap_err().contains("bad pc"));
+    }
+
+    #[test]
+    fn recorder_captures_program_output() {
+        let (rec, handle) = Recorder::new(SharedWriter::new(0x1000, 2, 64));
+        let mut rec = rec;
+        let emitted: Vec<Op> = (0..5).map(|_| rec.next_op()).collect();
+        assert_eq!(handle.borrow().ops(), emitted.as_slice());
+        assert_eq!(rec.name(), "shared-writer");
+    }
+
+    #[test]
+    fn replay_reproduces_a_recorded_run_exactly() {
+        // Record a run, then replay the trace: same cycle count and stats.
+        let run = |program: Box<dyn Program>| {
+            let mut sys = System::new(SystemConfig::default()).unwrap();
+            sys.spawn(program, 0, 0, Some(2_000));
+            sys.run(u64::MAX)
+        };
+
+        let (rec, handle) = Recorder::new(SharedWriter::new(0x2000, 16, 64));
+        let original = run(Box::new(rec));
+        let trace = handle.borrow().clone();
+        let replayed = run(Box::new(TraceProgram::new(trace, "replay")));
+
+        assert_eq!(original.total_cycles, replayed.total_cycles);
+        assert_eq!(original.stats, replayed.stats);
+    }
+
+    #[test]
+    fn exhausted_trace_is_done() {
+        let mut p = TraceProgram::new(Trace::new(), "empty");
+        assert_eq!(p.next_op(), Op::Done);
+        assert_eq!(p.next_op(), Op::Done);
+        assert_eq!(p.name(), "empty");
+    }
+
+    #[test]
+    fn spin_records_done_marker() {
+        let (rec, handle) = Recorder::new(Spin::new(1));
+        let mut rec = rec;
+        while rec.next_op() != Op::Done {}
+        let t = handle.borrow();
+        assert_eq!(t.ops().last(), Some(&Op::Done));
+    }
+}

@@ -1,0 +1,356 @@
+//! A single set-associative cache level.
+//!
+//! [`Cache`] owns the tag array, replacement state, statistics, and — when
+//! the hierarchy runs in [`crate::SecurityMode::TimeCache`] — a
+//! [`TimeCacheState`] covering its lines. Access *semantics* (what counts as
+//! a hit, where requests go next) live in [`crate::Hierarchy`]; the cache
+//! provides the mechanical operations: lookup, fill, invalidate, and the
+//! TimeCache visibility hooks.
+
+use crate::addr::LineAddr;
+use crate::config::CacheConfig;
+use crate::geometry::CacheGeometry;
+use crate::replacement::ReplacementState;
+use crate::stats::CacheStats;
+use timecache_core::{Snapshot, TimeCacheConfig, TimeCacheState, Visibility};
+
+/// One tag-array entry.
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    /// The full line address (serves as the tag; the set is implied).
+    addr: u64,
+    valid: bool,
+    dirty: bool,
+}
+
+/// Result of a tag lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LookupResult {
+    /// Set index.
+    pub set: u64,
+    /// Way within the set.
+    pub way: u32,
+    /// Flat line index (`set * ways + way`), the key into TimeCache state.
+    pub flat: usize,
+}
+
+/// A line displaced by a fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Evicted {
+    /// The displaced line's address.
+    pub line: LineAddr,
+    /// Whether it held modified data (needs a write-back).
+    pub dirty: bool,
+}
+
+/// A set-associative cache level.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    name: &'static str,
+    geometry: CacheGeometry,
+    index: crate::index::IndexFn,
+    lines: Vec<Line>,
+    replacement: ReplacementState,
+    timecache: Option<TimeCacheState>,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Builds a cache. `timecache` supplies the mechanism config when the
+    /// defense is engaged; `num_contexts` is the number of hardware
+    /// contexts sharing this cache (SMT threads for an L1, all contexts for
+    /// the LLC).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_contexts` is zero while `timecache` is `Some`.
+    pub fn new(
+        name: &'static str,
+        config: CacheConfig,
+        num_contexts: usize,
+        timecache: Option<TimeCacheConfig>,
+    ) -> Self {
+        let g = config.geometry;
+        Cache {
+            name,
+            geometry: g,
+            index: config.index,
+            lines: vec![Line::default(); g.num_lines()],
+            replacement: ReplacementState::build(config.replacement, g.num_sets(), g.ways()),
+            timecache: timecache.map(|tc| TimeCacheState::new(g.num_lines(), num_contexts, tc)),
+            stats: CacheStats::new(),
+        }
+    }
+
+    /// The cache's diagnostic name (`"L1I0"`, `"LLC"`, ...).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The cache's shape.
+    pub fn geometry(&self) -> &CacheGeometry {
+        &self.geometry
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Mutable statistics (the hierarchy attributes hits/misses; the cache
+    /// itself counts evictions, invalidations, and write-backs).
+    pub fn stats_mut(&mut self) -> &mut CacheStats {
+        &mut self.stats
+    }
+
+    /// Resets statistics (not cache contents) — used between warm-up and
+    /// measurement phases.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::new();
+    }
+
+    /// Tag lookup without side effects.
+    pub fn lookup(&self, line: LineAddr) -> Option<LookupResult> {
+        let set = self.index.set_of(line, self.geometry.num_sets());
+        let base = (set * self.geometry.ways() as u64) as usize;
+        (0..self.geometry.ways()).find_map(|way| {
+            let l = &self.lines[base + way as usize];
+            (l.valid && l.addr == line.raw()).then_some(LookupResult {
+                set,
+                way,
+                flat: base + way as usize,
+            })
+        })
+    }
+
+    /// Records a demand hit for replacement purposes.
+    pub fn touch(&mut self, hit: LookupResult) {
+        self.replacement.on_hit(hit.set, hit.way);
+    }
+
+    /// Fills `line` for hardware context `ctx` at cycle `now`, evicting a
+    /// victim if the set is full. Returns the displaced line, if any.
+    ///
+    /// The victim's TimeCache s-bits are reset and the new line's `Tc` and
+    /// filling-context s-bit are recorded. The eviction (and, if the victim
+    /// was dirty, the eventual write-back) is counted here; the caller
+    /// performs the actual write-back propagation.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the line is already present — the
+    /// hierarchy must not double-fill.
+    pub fn fill(&mut self, line: LineAddr, ctx: usize, now: u64) -> Option<Evicted> {
+        debug_assert!(
+            self.lookup(line).is_none(),
+            "{}: double fill of {line}",
+            self.name
+        );
+        let set = self.index.set_of(line, self.geometry.num_sets());
+        let base = (set * self.geometry.ways() as u64) as usize;
+
+        // Prefer an invalid way; otherwise ask the replacement policy.
+        let way = (0..self.geometry.ways())
+            .find(|&w| !self.lines[base + w as usize].valid)
+            .unwrap_or_else(|| self.replacement.victim(set));
+        let flat = base + way as usize;
+
+        let evicted = self.lines[flat].valid.then(|| {
+            self.stats.evictions += 1;
+            Evicted {
+                line: LineAddr::from_raw(self.lines[flat].addr),
+                dirty: self.lines[flat].dirty,
+            }
+        });
+        if let (Some(tc), Some(_)) = (&mut self.timecache, &evicted) {
+            tc.on_evict(flat);
+        }
+
+        self.lines[flat] = Line {
+            addr: line.raw(),
+            valid: true,
+            dirty: false,
+        };
+        self.replacement.on_fill(set, way);
+        if let Some(tc) = &mut self.timecache {
+            tc.on_fill(flat, ctx, now);
+        }
+        evicted
+    }
+
+    /// Invalidates `line` if present (coherence, back-invalidation, or
+    /// `clflush`). Returns whether it was present and dirty.
+    pub fn invalidate(&mut self, line: LineAddr) -> Option<bool> {
+        let hit = self.lookup(line)?;
+        let dirty = self.lines[hit.flat].dirty;
+        self.lines[hit.flat].valid = false;
+        self.lines[hit.flat].dirty = false;
+        self.stats.invalidations += 1;
+        if let Some(tc) = &mut self.timecache {
+            tc.on_evict(hit.flat);
+        }
+        Some(dirty)
+    }
+
+    /// Marks a resident line dirty (write hit) or clean (write-back done).
+    pub fn set_dirty(&mut self, at: LookupResult, dirty: bool) {
+        debug_assert!(self.lines[at.flat].valid);
+        self.lines[at.flat].dirty = dirty;
+    }
+
+    /// Whether a resident line is dirty.
+    pub fn is_dirty(&self, at: LookupResult) -> bool {
+        self.lines[at.flat].dirty
+    }
+
+    /// TimeCache visibility of a resident line for `ctx`; `Visible` always
+    /// in baseline mode.
+    pub fn visibility(&self, at: LookupResult, ctx: usize) -> Visibility {
+        match &self.timecache {
+            Some(tc) => tc.visibility(at.flat, ctx),
+            None => Visibility::Visible,
+        }
+    }
+
+    /// Records that `ctx` has now paid the first-access delay for a line.
+    /// No-op in baseline mode.
+    pub fn record_first_access(&mut self, at: LookupResult, ctx: usize) {
+        if let Some(tc) = &mut self.timecache {
+            tc.record_first_access(at.flat, ctx);
+        }
+    }
+
+    /// Saves the caching context of `ctx` (None in baseline mode).
+    pub fn save_context(&self, ctx: usize, now: u64) -> Option<Snapshot> {
+        self.timecache.as_ref().map(|tc| tc.save_context(ctx, now))
+    }
+
+    /// Restores a caching context; see
+    /// [`TimeCacheState::restore_context`]. Returns `None` in baseline mode.
+    pub fn restore_context(
+        &mut self,
+        ctx: usize,
+        snapshot: Option<&Snapshot>,
+        now: u64,
+    ) -> Option<timecache_core::RestoreOutcome> {
+        self.timecache
+            .as_mut()
+            .map(|tc| tc.restore_context(ctx, snapshot, now))
+    }
+
+    /// Read-only view of the TimeCache state (None in baseline mode).
+    pub fn timecache(&self) -> Option<&TimeCacheState> {
+        self.timecache.as_ref()
+    }
+
+    /// Number of valid lines currently resident (diagnostics/tests).
+    pub fn resident_lines(&self) -> usize {
+        self.lines.iter().filter(|l| l.valid).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CacheConfig;
+
+    fn tiny() -> Cache {
+        // 4 sets x 2 ways x 64B lines = 512 B.
+        Cache::new("T", CacheConfig::new(512, 2, 64), 1, None)
+    }
+
+    fn la(addr: u64) -> LineAddr {
+        LineAddr::from_addr(addr, 64)
+    }
+
+    #[test]
+    fn fill_then_lookup() {
+        let mut c = tiny();
+        assert!(c.lookup(la(0x100)).is_none());
+        assert_eq!(c.fill(la(0x100), 0, 0), None);
+        let hit = c.lookup(la(0x100)).unwrap();
+        assert_eq!(hit.set, (0x100 / 64) % 4);
+    }
+
+    #[test]
+    fn conflicting_fills_evict_lru() {
+        let mut c = tiny();
+        // Set 0 holds lines 0x000, 0x100 (stride 256 = sets*linesize).
+        c.fill(la(0x000), 0, 0);
+        c.fill(la(0x100), 0, 1);
+        c.touch(c.lookup(la(0x000)).unwrap()); // 0x000 most recent
+        let ev = c.fill(la(0x200), 0, 2).unwrap();
+        assert_eq!(ev.line, la(0x100));
+        assert!(!ev.dirty);
+        assert!(c.lookup(la(0x100)).is_none());
+        assert!(c.lookup(la(0x000)).is_some());
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn dirty_eviction_reported() {
+        let mut c = tiny();
+        c.fill(la(0x000), 0, 0);
+        let at = c.lookup(la(0x000)).unwrap();
+        c.set_dirty(at, true);
+        c.fill(la(0x100), 0, 1);
+        let ev = c.fill(la(0x200), 0, 2).unwrap();
+        assert!(ev.dirty);
+    }
+
+    #[test]
+    fn invalidate_reports_dirtiness() {
+        let mut c = tiny();
+        c.fill(la(0x40), 0, 0);
+        let at = c.lookup(la(0x40)).unwrap();
+        c.set_dirty(at, true);
+        assert_eq!(c.invalidate(la(0x40)), Some(true));
+        assert_eq!(c.invalidate(la(0x40)), None);
+        assert_eq!(c.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn timecache_hooks_wire_through() {
+        let mut c = Cache::new(
+            "T",
+            CacheConfig::new(512, 2, 64),
+            2,
+            Some(TimeCacheConfig::default()),
+        );
+        c.fill(la(0x40), 0, 100);
+        let at = c.lookup(la(0x40)).unwrap();
+        assert_eq!(c.visibility(at, 0), Visibility::Visible);
+        assert_eq!(c.visibility(at, 1), Visibility::FirstAccess);
+        c.record_first_access(at, 1);
+        assert_eq!(c.visibility(at, 1), Visibility::Visible);
+
+        // Eviction resets s-bits: refill after conflict.
+        c.fill(la(0x140), 0, 200);
+        c.fill(la(0x240), 0, 300); // evicts one of them
+        if let Some(at) = c.lookup(la(0x40)) {
+            // 0x40 survived; its s-bits are intact.
+            assert_eq!(c.visibility(at, 0), Visibility::Visible);
+        }
+    }
+
+    #[test]
+    fn baseline_is_always_visible() {
+        let mut c = tiny();
+        c.fill(la(0x80), 0, 0);
+        let at = c.lookup(la(0x80)).unwrap();
+        assert_eq!(c.visibility(at, 0), Visibility::Visible);
+        assert!(c.save_context(0, 0).is_none());
+        assert!(c.restore_context(0, None, 0).is_none());
+    }
+
+    #[test]
+    fn resident_lines_counts_valid() {
+        let mut c = tiny();
+        assert_eq!(c.resident_lines(), 0);
+        c.fill(la(0x00), 0, 0);
+        c.fill(la(0x40), 0, 0);
+        assert_eq!(c.resident_lines(), 2);
+        c.invalidate(la(0x00));
+        assert_eq!(c.resident_lines(), 1);
+    }
+}

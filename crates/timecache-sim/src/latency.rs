@@ -1,0 +1,124 @@
+//! Latency model for the memory hierarchy.
+
+/// Access latencies in core cycles.
+///
+/// Defaults approximate the paper's simulated system (gem5 TimingSimpleCPU
+/// at 2 GHz with classic caches): an L1 hit is fast, the LLC an order of
+/// magnitude slower, DRAM another order.
+///
+/// # Examples
+///
+/// ```
+/// use timecache_sim::LatencyConfig;
+///
+/// let lat = LatencyConfig::default();
+/// assert!(lat.l1_hit < lat.llc_hit && lat.llc_hit < lat.dram);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LatencyConfig {
+    /// L1 hit latency.
+    pub l1_hit: u64,
+    /// Latency to get data from the shared LLC (includes L1 lookup).
+    pub llc_hit: u64,
+    /// Latency to get data from DRAM (includes L1+LLC lookups).
+    pub dram: u64,
+    /// Latency to get data from a remote core's private cache via the
+    /// coherence protocol (dirty-line forwarding). Between `llc_hit` and
+    /// `dram` on real parts; the gap is what the invalidate+transfer attack
+    /// of Section VII-B measures.
+    pub remote_l1: u64,
+    /// `clflush` completion time when the line was present somewhere
+    /// (write-back + invalidate).
+    pub flush_present: u64,
+    /// `clflush` completion time when the line was absent (the instruction
+    /// aborts early — the timing difference flush+flush exploits,
+    /// Section VII-C).
+    pub flush_absent: u64,
+}
+
+impl Default for LatencyConfig {
+    fn default() -> Self {
+        LatencyConfig {
+            l1_hit: 2,
+            llc_hit: 30,
+            dram: 200,
+            remote_l1: 60,
+            flush_present: 40,
+            flush_absent: 12,
+        }
+    }
+}
+
+impl LatencyConfig {
+    /// Validates ordering invariants the attack analyses rely on.
+    ///
+    /// Returns a human-readable description of the first violated
+    /// constraint, if any.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.l1_hit == 0 {
+            return Err("l1_hit must be nonzero".into());
+        }
+        if self.l1_hit >= self.llc_hit {
+            return Err(format!(
+                "l1_hit ({}) must be below llc_hit ({})",
+                self.l1_hit, self.llc_hit
+            ));
+        }
+        if self.llc_hit >= self.remote_l1 {
+            return Err(format!(
+                "llc_hit ({}) must be below remote_l1 ({})",
+                self.llc_hit, self.remote_l1
+            ));
+        }
+        if self.remote_l1 >= self.dram {
+            return Err(format!(
+                "remote_l1 ({}) must be below dram ({})",
+                self.remote_l1, self.dram
+            ));
+        }
+        if self.flush_absent >= self.flush_present {
+            return Err(format!(
+                "flush_absent ({}) must be below flush_present ({})",
+                self.flush_absent, self.flush_present
+            ));
+        }
+        Ok(())
+    }
+
+    /// The hit/miss decision threshold an attacker would calibrate: halfway
+    /// between an L1 hit and an LLC hit, so any service beyond the private
+    /// cache reads as "slow".
+    pub fn reload_threshold(&self) -> u64 {
+        (self.l1_hit + self.llc_hit) / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        LatencyConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn validation_catches_inversions() {
+        let mut lat = LatencyConfig::default();
+        lat.dram = lat.llc_hit;
+        assert!(lat.validate().is_err());
+
+        let mut lat = LatencyConfig::default();
+        lat.flush_absent = lat.flush_present;
+        assert!(lat.validate().unwrap_err().contains("flush_absent"));
+    }
+
+    #[test]
+    fn threshold_separates_l1_from_rest() {
+        let lat = LatencyConfig::default();
+        let t = lat.reload_threshold();
+        assert!(lat.l1_hit < t);
+        assert!(lat.llc_hit > t);
+        assert!(lat.dram > t);
+    }
+}

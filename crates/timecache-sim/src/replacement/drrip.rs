@@ -1,0 +1,171 @@
+//! Dynamic re-reference interval prediction (DRRIP) replacement.
+//!
+//! DRRIP (Jaleel et al., ISCA 2010) set-duels two insertion policies:
+//! SRRIP (insert "long") and BRRIP (insert "distant" almost always,
+//! protecting the cache from scans). A handful of leader sets are
+//! dedicated to each policy; a saturating counter (PSEL) tracks which
+//! leader group misses less and steers all follower sets.
+
+/// RRPV value considered distant (2-bit: 3).
+const DISTANT: u8 = 3;
+/// RRPV assigned by SRRIP-style insertion.
+const LONG: u8 = 2;
+/// BRRIP inserts "long" only once every `BRRIP_LONG_PERIOD` fills.
+const BRRIP_LONG_PERIOD: u32 = 32;
+/// Leader sets per policy.
+const LEADERS: u64 = 4;
+/// PSEL saturating-counter range.
+const PSEL_MAX: i32 = 1023;
+
+/// DRRIP with 2-bit RRPVs and set dueling.
+#[derive(Debug, Clone)]
+pub struct Drrip {
+    rrpv: Vec<u8>,
+    sets: u64,
+    ways: u32,
+    /// Policy-selection counter: positive favours SRRIP insertion.
+    psel: i32,
+    /// Fill counter for BRRIP's infrequent "long" insertions.
+    brrip_fills: u32,
+}
+
+/// Which duelling group a set belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SetRole {
+    LeaderSrrip,
+    LeaderBrrip,
+    Follower,
+}
+
+impl Drrip {
+    /// Creates DRRIP state for `sets` sets of `ways` ways.
+    pub fn new(sets: u64, ways: u32) -> Self {
+        Drrip {
+            rrpv: vec![DISTANT; (sets * ways as u64) as usize],
+            sets,
+            ways,
+            psel: 0,
+            brrip_fills: 0,
+        }
+    }
+
+    fn role(&self, set: u64) -> SetRole {
+        // Spread the leader sets through the index space.
+        let stride = (self.sets / (2 * LEADERS)).max(1);
+        if set % stride == 0 {
+            let leader = set / stride;
+            if leader < LEADERS {
+                return SetRole::LeaderSrrip;
+            } else if leader < 2 * LEADERS {
+                return SetRole::LeaderBrrip;
+            }
+        }
+        SetRole::Follower
+    }
+
+    fn use_srrip(&self, set: u64) -> bool {
+        match self.role(set) {
+            SetRole::LeaderSrrip => true,
+            SetRole::LeaderBrrip => false,
+            SetRole::Follower => self.psel >= 0,
+        }
+    }
+
+    /// Promote to near-immediate re-reference.
+    pub fn on_hit(&mut self, set: u64, way: u32) {
+        self.rrpv[(set * self.ways as u64 + way as u64) as usize] = 0;
+    }
+
+    /// Insert with the duel-selected policy; leader-set fills train PSEL
+    /// (a fill implies the set recently missed).
+    pub fn on_fill(&mut self, set: u64, way: u32) {
+        match self.role(set) {
+            // A miss in an SRRIP leader argues for BRRIP, and vice versa.
+            SetRole::LeaderSrrip => self.psel = (self.psel - 1).max(-PSEL_MAX),
+            SetRole::LeaderBrrip => self.psel = (self.psel + 1).min(PSEL_MAX),
+            SetRole::Follower => {}
+        }
+        let rrpv = if self.use_srrip(set) {
+            LONG
+        } else {
+            self.brrip_fills = self.brrip_fills.wrapping_add(1);
+            if self.brrip_fills % BRRIP_LONG_PERIOD == 0 {
+                LONG
+            } else {
+                DISTANT
+            }
+        };
+        self.rrpv[(set * self.ways as u64 + way as u64) as usize] = rrpv;
+    }
+
+    /// First distant way, ageing the set until one exists.
+    pub fn victim(&mut self, set: u64) -> u32 {
+        let base = (set * self.ways as u64) as usize;
+        loop {
+            let row = &mut self.rrpv[base..base + self.ways as usize];
+            if let Some(w) = row.iter().position(|&r| r >= DISTANT) {
+                return w as u32;
+            }
+            for r in row {
+                *r += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hits_protect_lines() {
+        let mut d = Drrip::new(64, 4);
+        let set = 33; // a follower set
+        for w in 0..4 {
+            d.on_fill(set, w);
+        }
+        d.on_hit(set, 1);
+        let v = d.victim(set);
+        assert_ne!(v, 1, "the re-referenced way must survive");
+    }
+
+    #[test]
+    fn scan_heavy_traffic_trains_psel_towards_brrip() {
+        let mut d = Drrip::new(64, 4);
+        // Hammer the SRRIP leader sets with fills (pure misses): PSEL
+        // must swing negative (towards BRRIP).
+        let stride = 64 / (2 * LEADERS);
+        for round in 0..200u64 {
+            for leader in 0..LEADERS {
+                d.on_fill(leader * stride, (round % 4) as u32);
+            }
+        }
+        assert!(d.psel < 0, "psel {}", d.psel);
+    }
+
+    #[test]
+    fn brrip_occasionally_inserts_long() {
+        let mut d = Drrip::new(64, 4);
+        d.psel = -PSEL_MAX; // force BRRIP in followers
+        let set = 33;
+        let mut longs = 0;
+        for i in 0..(2 * BRRIP_LONG_PERIOD) {
+            d.on_fill(set, (i % 4) as u32);
+            if d.rrpv[(set * 4 + (i % 4) as u64) as usize] == LONG {
+                longs += 1;
+            }
+        }
+        assert!(longs >= 1 && longs <= 4, "longs {longs}");
+    }
+
+    #[test]
+    fn victim_is_always_in_range() {
+        let mut d = Drrip::new(16, 8);
+        for i in 0..500u64 {
+            let set = i % 16;
+            let v = d.victim(set);
+            assert!(v < 8);
+            d.on_fill(set, (i % 8) as u32);
+        }
+    }
+}

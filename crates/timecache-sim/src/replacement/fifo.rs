@@ -1,0 +1,64 @@
+//! First-in first-out replacement.
+
+/// FIFO: victims are chosen in fill order; hits do not refresh a line.
+#[derive(Debug, Clone)]
+pub struct Fifo {
+    stamps: Vec<u64>,
+    ways: u32,
+    clock: u64,
+}
+
+impl Fifo {
+    /// Creates FIFO state for `sets` sets of `ways` ways.
+    pub fn new(sets: u64, ways: u32) -> Self {
+        Fifo {
+            stamps: vec![0; (sets * ways as u64) as usize],
+            ways,
+            clock: 0,
+        }
+    }
+
+    /// Hits do not affect FIFO order.
+    pub fn on_hit(&mut self, _set: u64, _way: u32) {}
+
+    /// Stamps the fill time.
+    pub fn on_fill(&mut self, set: u64, way: u32) {
+        self.clock += 1;
+        self.stamps[(set * self.ways as u64 + way as u64) as usize] = self.clock;
+    }
+
+    /// The earliest-filled way.
+    pub fn victim(&mut self, set: u64) -> u32 {
+        let base = (set * self.ways as u64) as usize;
+        self.stamps[base..base + self.ways as usize]
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, s)| s)
+            .map(|(w, _)| w as u32)
+            .expect("ways is nonzero")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hits_do_not_rescue_lines() {
+        let mut f = Fifo::new(1, 3);
+        f.on_fill(0, 0);
+        f.on_fill(0, 1);
+        f.on_fill(0, 2);
+        f.on_hit(0, 0); // irrelevant under FIFO
+        assert_eq!(f.victim(0), 0);
+    }
+
+    #[test]
+    fn refill_moves_to_back() {
+        let mut f = Fifo::new(1, 2);
+        f.on_fill(0, 0);
+        f.on_fill(0, 1);
+        f.on_fill(0, 0); // way 0 refilled: now newest
+        assert_eq!(f.victim(0), 1);
+    }
+}

@@ -1,0 +1,171 @@
+//! Cache replacement policies.
+//!
+//! The simulator ships the policies most relevant to the paper's setting:
+//! exact [LRU](lru::Lru) (the policy the LRU-state attack of Section VII-A
+//! targets), [Tree-PLRU](plru::TreePlru) (what real L1s implement),
+//! [SRRIP](srrip::Srrip), [DRRIP](drrip::Drrip), [FIFO](fifo::Fifo), and
+//! [`Random`](random::Random).
+//!
+//! Policies are selected per cache level with [`ReplacementKind`]; the
+//! per-set state lives in [`ReplacementState`], an enum so the hot path is
+//! a match rather than a virtual call.
+
+pub mod drrip;
+pub mod fifo;
+pub mod lru;
+pub mod plru;
+pub mod random;
+pub mod srrip;
+
+use drrip::Drrip;
+use fifo::Fifo;
+use lru::Lru;
+use plru::TreePlru;
+use random::Random;
+use srrip::Srrip;
+
+/// Which replacement policy a cache level uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReplacementKind {
+    /// Exact least-recently-used.
+    Lru,
+    /// Tree pseudo-LRU (requires power-of-two associativity).
+    TreePlru,
+    /// First-in, first-out (fill order, ignores hits).
+    Fifo,
+    /// Uniform random victim, deterministic from the given seed.
+    Random {
+        /// Seed for the xorshift generator used to pick victims.
+        seed: u64,
+    },
+    /// Static re-reference interval prediction (2-bit RRPV).
+    Srrip,
+    /// Dynamic RRIP: set-duelled SRRIP/BRRIP insertion (scan-resistant).
+    Drrip,
+}
+
+impl Default for ReplacementKind {
+    /// LRU, matching gem5's classic-cache default used by the paper.
+    fn default() -> Self {
+        ReplacementKind::Lru
+    }
+}
+
+/// Per-cache replacement state, instantiated from a [`ReplacementKind`].
+#[derive(Debug, Clone)]
+pub enum ReplacementState {
+    /// See [`Lru`].
+    Lru(Lru),
+    /// See [`TreePlru`].
+    TreePlru(TreePlru),
+    /// See [`Fifo`].
+    Fifo(Fifo),
+    /// See [`Random`].
+    Random(Random),
+    /// See [`Srrip`].
+    Srrip(Srrip),
+    /// See [`Drrip`].
+    Drrip(Drrip),
+}
+
+impl ReplacementState {
+    /// Builds state for `sets` sets of `ways` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` or `ways` is zero, or if Tree-PLRU is requested with
+    /// non-power-of-two associativity.
+    pub fn build(kind: ReplacementKind, sets: u64, ways: u32) -> Self {
+        assert!(sets > 0 && ways > 0, "sets and ways must be nonzero");
+        match kind {
+            ReplacementKind::Lru => ReplacementState::Lru(Lru::new(sets, ways)),
+            ReplacementKind::TreePlru => ReplacementState::TreePlru(TreePlru::new(sets, ways)),
+            ReplacementKind::Fifo => ReplacementState::Fifo(Fifo::new(sets, ways)),
+            ReplacementKind::Random { seed } => {
+                ReplacementState::Random(Random::new(sets, ways, seed))
+            }
+            ReplacementKind::Srrip => ReplacementState::Srrip(Srrip::new(sets, ways)),
+            ReplacementKind::Drrip => ReplacementState::Drrip(Drrip::new(sets, ways)),
+        }
+    }
+
+    /// Records a demand hit on `(set, way)`.
+    #[inline]
+    pub fn on_hit(&mut self, set: u64, way: u32) {
+        match self {
+            ReplacementState::Lru(p) => p.on_hit(set, way),
+            ReplacementState::TreePlru(p) => p.on_hit(set, way),
+            ReplacementState::Fifo(p) => p.on_hit(set, way),
+            ReplacementState::Random(p) => p.on_hit(set, way),
+            ReplacementState::Srrip(p) => p.on_hit(set, way),
+            ReplacementState::Drrip(p) => p.on_hit(set, way),
+        }
+    }
+
+    /// Records a fill into `(set, way)`.
+    #[inline]
+    pub fn on_fill(&mut self, set: u64, way: u32) {
+        match self {
+            ReplacementState::Lru(p) => p.on_fill(set, way),
+            ReplacementState::TreePlru(p) => p.on_fill(set, way),
+            ReplacementState::Fifo(p) => p.on_fill(set, way),
+            ReplacementState::Random(p) => p.on_fill(set, way),
+            ReplacementState::Srrip(p) => p.on_fill(set, way),
+            ReplacementState::Drrip(p) => p.on_fill(set, way),
+        }
+    }
+
+    /// Chooses a victim way in `set`. Called only when every way is valid;
+    /// the cache prefers invalid ways itself.
+    #[inline]
+    pub fn victim(&mut self, set: u64) -> u32 {
+        match self {
+            ReplacementState::Lru(p) => p.victim(set),
+            ReplacementState::TreePlru(p) => p.victim(set),
+            ReplacementState::Fifo(p) => p.victim(set),
+            ReplacementState::Random(p) => p.victim(set),
+            ReplacementState::Srrip(p) => p.victim(set),
+            ReplacementState::Drrip(p) => p.victim(set),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(kind: ReplacementKind, ways: u32) {
+        let mut st = ReplacementState::build(kind, 4, ways);
+        for w in 0..ways {
+            st.on_fill(2, w);
+        }
+        st.on_hit(2, 0);
+        let v = st.victim(2);
+        assert!(v < ways, "{kind:?} victim {v} out of range");
+    }
+
+    #[test]
+    fn all_policies_yield_in_range_victims() {
+        for kind in [
+            ReplacementKind::Lru,
+            ReplacementKind::TreePlru,
+            ReplacementKind::Fifo,
+            ReplacementKind::Random { seed: 7 },
+            ReplacementKind::Srrip,
+            ReplacementKind::Drrip,
+        ] {
+            exercise(kind, 8);
+        }
+    }
+
+    #[test]
+    fn default_is_lru() {
+        assert_eq!(ReplacementKind::default(), ReplacementKind::Lru);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_ways_rejected() {
+        ReplacementState::build(ReplacementKind::Lru, 4, 0);
+    }
+}

@@ -1,0 +1,117 @@
+//! Tree pseudo-LRU replacement.
+
+/// Tree-PLRU: a binary tree of direction bits per set. Each touch flips the
+/// bits on the path to the touched way to point *away* from it; the victim
+/// is found by following the bits from the root.
+///
+/// Requires power-of-two associativity. This is what commodity L1 caches
+/// implement in silicon, and is provided to show the TimeCache results are
+/// not an artifact of exact LRU.
+#[derive(Debug, Clone)]
+pub struct TreePlru {
+    /// `ways - 1` tree bits per set, heap order (node 0 = root).
+    bits: Vec<bool>,
+    ways: u32,
+    levels: u32,
+}
+
+impl TreePlru {
+    /// Creates Tree-PLRU state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ways` is not a power of two.
+    pub fn new(sets: u64, ways: u32) -> Self {
+        assert!(
+            ways.is_power_of_two(),
+            "tree-PLRU requires power-of-two ways, got {ways}"
+        );
+        TreePlru {
+            bits: vec![false; (sets * (ways as u64 - 1).max(1)) as usize],
+            ways,
+            levels: ways.trailing_zeros(),
+        }
+    }
+
+    fn set_base(&self, set: u64) -> usize {
+        (set * (self.ways as u64 - 1).max(1)) as usize
+    }
+
+    /// Points the path bits away from the touched way.
+    pub fn on_hit(&mut self, set: u64, way: u32) {
+        if self.ways == 1 {
+            return;
+        }
+        let base = self.set_base(set);
+        let mut node = 0usize;
+        for level in (0..self.levels).rev() {
+            let go_right = way >> level & 1 == 1;
+            // Bit records which side is *older*: point at the other side.
+            self.bits[base + node] = !go_right;
+            node = 2 * node + 1 + go_right as usize;
+        }
+    }
+
+    /// Fills touch like hits.
+    pub fn on_fill(&mut self, set: u64, way: u32) {
+        self.on_hit(set, way);
+    }
+
+    /// Follows the direction bits from the root to the pseudo-LRU way.
+    pub fn victim(&mut self, set: u64) -> u32 {
+        if self.ways == 1 {
+            return 0;
+        }
+        let base = self.set_base(set);
+        let mut node = 0usize;
+        let mut way = 0u32;
+        for _ in 0..self.levels {
+            let right = self.bits[base + node];
+            way = way << 1 | right as u32;
+            node = 2 * node + 1 + right as usize;
+        }
+        way
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn victim_avoids_recent_touches() {
+        let mut p = TreePlru::new(1, 4);
+        for w in 0..4 {
+            p.on_fill(0, w);
+        }
+        // Way 3 was touched last: the victim must be in the other subtree.
+        let v = p.victim(0);
+        assert!(v == 0 || v == 1, "victim {v}");
+        p.on_hit(0, v);
+        assert_ne!(p.victim(0), v);
+    }
+
+    #[test]
+    fn plru_approximates_lru_on_sequential_fill() {
+        let mut p = TreePlru::new(1, 8);
+        for w in 0..8 {
+            p.on_fill(0, w);
+        }
+        // After filling 0..7 in order, true LRU would evict 0; tree-PLRU
+        // agrees in this pattern.
+        assert_eq!(p.victim(0), 0);
+    }
+
+    #[test]
+    fn direct_mapped_degenerates() {
+        let mut p = TreePlru::new(4, 1);
+        p.on_fill(2, 0);
+        assert_eq!(p.victim(2), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn non_power_of_two_rejected() {
+        TreePlru::new(1, 6);
+    }
+}

@@ -1,0 +1,98 @@
+//! FTM (First Time Miss) comparison-baseline behaviour: the Section
+//! VIII-B2 argument made executable. FTM's per-core LLC presence bits stop
+//! *cross-core* reuse, but nothing else — no L1 protection, no per-process
+//! state, no SMT separation — which is exactly the gap TimeCache closes.
+
+use timecache_sim::{AccessKind, Hierarchy, HierarchyConfig, Level, SecurityMode};
+
+fn ftm(cores: usize, smt: usize) -> Hierarchy {
+    let mut cfg = HierarchyConfig::with_cores(cores);
+    cfg.smt_per_core = smt;
+    cfg.security = SecurityMode::Ftm;
+    Hierarchy::new(cfg).unwrap()
+}
+
+#[test]
+fn ftm_blocks_cross_core_reuse() {
+    let mut h = ftm(2, 1);
+    // Victim on core 0 loads a shared line.
+    h.access(0, 0, AccessKind::Load, 0x4000, 0);
+    // Attacker on core 1: LLC tag hit but core 1's presence bit is clear
+    // -> first access, DRAM latency. The cross-core channel is closed.
+    let spy = h.access(1, 0, AccessKind::Load, 0x4000, 10);
+    assert!(spy.first_access_llc);
+    assert_eq!(spy.latency, h.config().latencies.dram);
+    // Second access by core 1 is an ordinary (local) hit.
+    let again = h.access(1, 0, AccessKind::Load, 0x4000, 20);
+    assert_eq!(again.served_by, Level::L1);
+}
+
+#[test]
+fn ftm_fails_same_core_time_sliced_attack() {
+    let mut h = ftm(1, 1);
+    // "Victim" fills the line; a context switch happens (FTM has nothing
+    // to save or restore — the snapshot is empty and the restore free).
+    h.access(0, 0, AccessKind::Load, 0x5000, 0);
+    let snap = h.save_context(0, 0, 100);
+    assert_eq!(snap.storage_bytes(), 0, "FTM keeps no per-process state");
+    let cost = h.restore_context(0, 0, None, 100);
+    assert_eq!(cost.transfer_lines, 0);
+
+    // "Attacker" process now runs on the same core: the core's presence
+    // bit is still set, so the reload is FAST — the attack succeeds.
+    // (Under TimeCache this is a first-access miss; see the hierarchy
+    // unit tests.)
+    let spy = h.access(0, 0, AccessKind::Load, 0x5000, 200);
+    assert_eq!(spy.served_by, Level::L1, "FTM leaks across time slicing");
+}
+
+#[test]
+fn ftm_fails_smt_sibling_attack() {
+    let mut h = ftm(1, 2);
+    // Victim on thread 0, spy on thread 1 of the same core: FTM's
+    // core-granular presence bit cannot tell them apart.
+    h.access(0, 0, AccessKind::Load, 0x6000, 0);
+    let spy = h.access(0, 1, AccessKind::Load, 0x6000, 10);
+    assert_eq!(spy.served_by, Level::L1, "FTM leaks across SMT threads");
+    assert!(!spy.is_first_access());
+}
+
+#[test]
+fn ftm_leaves_l1_unprotected_after_llc_first_access() {
+    // Even cross-core, FTM's protection is one-shot per core: after any
+    // process on the attacker's core touches the line once, every later
+    // process on that core sees fast reloads, regardless of context
+    // switches.
+    let mut h = ftm(2, 1);
+    h.access(0, 0, AccessKind::Load, 0x7000, 0); // victim caches line
+    h.access(1, 0, AccessKind::Load, 0x7000, 10); // some process pays FA
+    // A *different* process is scheduled on core 1 (context switch):
+    h.restore_context(1, 0, None, 20);
+    let spy = h.access(1, 0, AccessKind::Load, 0x7000, 30);
+    assert_eq!(
+        spy.served_by,
+        Level::L1,
+        "FTM cannot distinguish processes sharing a core"
+    );
+}
+
+#[test]
+fn ftm_charges_no_switch_overhead() {
+    let mut h = ftm(1, 1);
+    h.access(0, 0, AccessKind::Load, 0x8000, 0);
+    let snap = h.save_context(0, 0, 10);
+    let cost = h.restore_context(0, 0, Some(&snap), 20);
+    assert_eq!(cost.comparator_cycles, 0);
+    assert_eq!(cost.transfer_lines, 0);
+    assert_eq!(cost.sbits_reset, 0);
+}
+
+#[test]
+fn ftm_first_access_statistics_land_on_llc_only() {
+    let mut h = ftm(2, 1);
+    h.access(0, 0, AccessKind::Load, 0x9000, 0);
+    h.access(1, 0, AccessKind::Load, 0x9000, 10);
+    let s = h.stats();
+    assert_eq!(s.llc.first_access, 1);
+    assert_eq!(s.l1i_total().first_access + s.l1d_total().first_access, 0);
+}

@@ -1,0 +1,188 @@
+//! Property-based tests for the cache simulator.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use timecache_core::TimeCacheConfig;
+use timecache_sim::{
+    AccessKind, CacheConfig, Hierarchy, HierarchyConfig, Level, LineAddr, SecurityMode,
+};
+
+fn tiny_config(security: SecurityMode, cores: usize) -> HierarchyConfig {
+    let mut cfg = HierarchyConfig::with_cores(cores);
+    // Small caches so evictions happen within short traces.
+    cfg.l1i = CacheConfig::new(1024, 2, 64);
+    cfg.l1d = CacheConfig::new(1024, 2, 64);
+    cfg.llc = CacheConfig::new(8192, 4, 64);
+    cfg.security = security;
+    cfg
+}
+
+#[derive(Debug, Clone)]
+enum Ev {
+    Access { kind: u8, line: u64 },
+    Flush { line: u64 },
+}
+
+fn ev() -> impl Strategy<Value = Ev> {
+    prop_oneof![
+        (0u8..3, 0u64..64).prop_map(|(kind, line)| Ev::Access { kind, line }),
+        (0u64..64).prop_map(|line| Ev::Flush { line }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Latency sanity: every access costs one of the model's defined
+    /// service latencies, and `served_by` matches it.
+    #[test]
+    fn latencies_match_served_level(events in prop::collection::vec(ev(), 1..300)) {
+        let mut h = Hierarchy::new(tiny_config(SecurityMode::Baseline, 1)).unwrap();
+        let lat = h.config().latencies;
+        for (i, e) in events.iter().enumerate() {
+            match e {
+                Ev::Access { kind, line } => {
+                    let kind = match kind { 0 => AccessKind::IFetch, 1 => AccessKind::Load, _ => AccessKind::Store };
+                    let out = h.access(0, 0, kind, line * 64, i as u64);
+                    let expected = match out.served_by {
+                        Level::L1 => lat.l1_hit,
+                        Level::LLC => lat.llc_hit,
+                        Level::RemoteL1 => lat.remote_l1,
+                        Level::Memory => lat.dram,
+                    };
+                    prop_assert_eq!(out.latency, expected);
+                }
+                Ev::Flush { line } => {
+                    let l = h.clflush(line * 64);
+                    prop_assert!(l == lat.flush_present || l == lat.flush_absent);
+                }
+            }
+        }
+    }
+
+    /// Inclusivity: any L1-resident line is LLC-resident, under arbitrary
+    /// access/flush interleavings across two cores.
+    #[test]
+    fn llc_inclusivity_holds(
+        events in prop::collection::vec((0usize..2, ev()), 1..300),
+    ) {
+        let mut h = Hierarchy::new(tiny_config(SecurityMode::Baseline, 2)).unwrap();
+        for (i, (core, e)) in events.iter().enumerate() {
+            match e {
+                Ev::Access { kind, line } => {
+                    let kind = match kind { 0 => AccessKind::IFetch, 1 => AccessKind::Load, _ => AccessKind::Store };
+                    h.access(*core, 0, kind, line * 64, i as u64);
+                }
+                Ev::Flush { line } => {
+                    h.clflush(line * 64);
+                }
+            }
+            for line in 0u64..64 {
+                let la = LineAddr::from_addr(line * 64, 64);
+                for c in 0..2 {
+                    if h.l1d(c).lookup(la).is_some() || h.l1i(c).lookup(la).is_some() {
+                        prop_assert!(
+                            h.llc().lookup(la).is_some(),
+                            "line {} in core {}'s L1 but not LLC", line, c
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Baseline hit/miss behaviour matches a reference set-associative LRU
+    /// model for a single-core load-only trace.
+    #[test]
+    fn baseline_matches_reference_lru(lines in prop::collection::vec(0u64..48, 1..400)) {
+        let mut h = Hierarchy::new(tiny_config(SecurityMode::Baseline, 1)).unwrap();
+        // Reference: L1D 8 sets x 2 ways over line addresses.
+        let sets = 8u64;
+        let ways = 2usize;
+        let mut model: HashMap<u64, Vec<(u64, u64)>> = HashMap::new(); // set -> [(line, stamp)]
+        let mut clock = 0u64;
+
+        for (i, &line) in lines.iter().enumerate() {
+            let out = h.access(0, 0, AccessKind::Load, line * 64, i as u64);
+            clock += 1;
+            let set = line % sets;
+            let row = model.entry(set).or_default();
+            let model_hit = row.iter().any(|&(l, _)| l == line);
+            prop_assert_eq!(out.l1_tag_hit, model_hit, "line {} step {}", line, i);
+            if model_hit {
+                row.iter_mut().find(|(l, _)| *l == line).unwrap().1 = clock;
+            } else {
+                if row.len() == ways {
+                    let oldest = row
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, &(_, s))| s)
+                        .map(|(idx, _)| idx)
+                        .unwrap();
+                    row.remove(oldest);
+                }
+                row.push((line, clock));
+            }
+        }
+    }
+
+    /// TimeCache never changes *which* data is resident relative to the
+    /// baseline for a single-context trace — only timing/visibility.
+    #[test]
+    fn single_context_residency_unchanged(lines in prop::collection::vec(0u64..64, 1..300)) {
+        let mut base = Hierarchy::new(tiny_config(SecurityMode::Baseline, 1)).unwrap();
+        let mut tc = Hierarchy::new(tiny_config(
+            SecurityMode::TimeCache(TimeCacheConfig::default()), 1)).unwrap();
+        for (i, &line) in lines.iter().enumerate() {
+            base.access(0, 0, AccessKind::Load, line * 64, i as u64);
+            tc.access(0, 0, AccessKind::Load, line * 64, i as u64);
+        }
+        for line in 0u64..64 {
+            let la = LineAddr::from_addr(line * 64, 64);
+            prop_assert_eq!(
+                base.l1d(0).lookup(la).is_some(),
+                tc.l1d(0).lookup(la).is_some(),
+                "L1D divergence on line {}", line
+            );
+            prop_assert_eq!(
+                base.llc().lookup(la).is_some(),
+                tc.llc().lookup(la).is_some(),
+                "LLC divergence on line {}", line
+            );
+        }
+        // And a single context never takes first-access misses from its
+        // own fills.
+        prop_assert_eq!(tc.stats().total_first_access(), 0);
+    }
+
+    /// Statistics identity per cache: accesses = hits + misses +
+    /// first-access misses.
+    #[test]
+    fn stats_identity(events in prop::collection::vec(ev(), 1..300)) {
+        let mut h = Hierarchy::new(tiny_config(
+            SecurityMode::TimeCache(TimeCacheConfig::default()), 1)).unwrap();
+        // Alternate between two SMT-less processes via context switches to
+        // generate first accesses.
+        let mut snaps = [None, None];
+        for (i, e) in events.iter().enumerate() {
+            let who = i % 2;
+            let now = i as u64 * 10;
+            let other = 1 - who;
+            // Switch in `who`.
+            snaps[other] = Some(h.save_context(0, 0, now));
+            let snap = snaps[who].clone();
+            h.restore_context(0, 0, snap.as_ref(), now);
+            match e {
+                Ev::Access { kind, line } => {
+                    let kind = match kind { 0 => AccessKind::IFetch, 1 => AccessKind::Load, _ => AccessKind::Store };
+                    h.access(0, 0, kind, line * 64, now);
+                }
+                Ev::Flush { line } => { h.clflush(line * 64); }
+            }
+        }
+        let stats = h.stats();
+        for s in [stats.l1i_total(), stats.l1d_total(), stats.llc] {
+            prop_assert_eq!(s.accesses, s.hits + s.misses + s.first_access, "{:?}", s);
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Address-space layout conventions for generated workloads.
+//!
+//! The simulator is physically addressed, so "shared software" simply means
+//! two programs emitting accesses to the same addresses — exactly what a
+//! shared library mapping, a deduplicated page, or a forked address space
+//! produces on real hardware.
+//!
+//! Regions are spaced far apart so distinct regions never share a cache
+//! line, and each process's private regions are disjoint by construction.
+
+use timecache_sim::Addr;
+
+/// Cache line size assumed by the layout helpers (matches Table I).
+pub const LINE: u64 = 64;
+
+/// Base of the system-wide shared library text (libc et al.): shared by
+/// *every* process, like the single physical copy of a shared library.
+pub const SHARED_LIB_CODE: Addr = 0x7F00_0000_0000;
+
+/// Base of the shared-library *data* (e.g. deduplicated pages, page-cache
+/// pages served to multiple readers).
+pub const SHARED_LIB_DATA: Addr = 0x7E00_0000_0000;
+
+/// Base of explicitly shared memory segments (`mmap(MAP_SHARED)`), used by
+/// the attack microbenchmarks and PARSEC-style thread workloads.
+pub const SHARED_SEGMENT: Addr = 0x6000_0000_0000;
+
+/// Base of per-benchmark binary text. Two instances of the *same* benchmark
+/// share their text (same physical pages); different benchmarks do not.
+pub const BENCH_CODE: Addr = 0x5000_0000_0000;
+
+/// Base of per-process private memory.
+pub const PRIVATE: Addr = 0x1000_0000_0000;
+
+/// Stride between per-benchmark code regions (16 MiB is far larger than
+/// any generated text footprint).
+pub const BENCH_CODE_STRIDE: u64 = 16 << 20;
+
+/// Stride between per-process private arenas (64 GiB).
+pub const PRIVATE_STRIDE: u64 = 64 << 30;
+
+/// The text base for benchmark number `bench_id`.
+pub fn bench_code_base(bench_id: usize) -> Addr {
+    BENCH_CODE + bench_id as u64 * BENCH_CODE_STRIDE
+}
+
+/// The private arena base for process instance `instance`.
+pub fn private_base(instance: usize) -> Addr {
+    PRIVATE + instance as u64 * PRIVATE_STRIDE
+}
+
+/// The address of code line `i` within a region.
+pub fn code_line(base: Addr, i: u64) -> Addr {
+    base + i * LINE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_are_disjoint() {
+        // Private arenas never reach the shared segments for any plausible
+        // instance count (up to 256 processes), and bench code regions
+        // never collide.
+        assert!(private_base(255) + PRIVATE_STRIDE < BENCH_CODE);
+        assert!(bench_code_base(255) + BENCH_CODE_STRIDE < SHARED_SEGMENT);
+        assert!(SHARED_SEGMENT < SHARED_LIB_DATA);
+        assert!(SHARED_LIB_DATA < SHARED_LIB_CODE);
+    }
+
+    #[test]
+    fn bench_code_bases_are_distinct() {
+        assert_ne!(bench_code_base(0), bench_code_base(1));
+        assert_eq!(bench_code_base(2) - bench_code_base(1), BENCH_CODE_STRIDE);
+    }
+
+    #[test]
+    fn code_lines_step_by_line_size() {
+        assert_eq!(code_line(SHARED_LIB_CODE, 0), SHARED_LIB_CODE);
+        assert_eq!(code_line(SHARED_LIB_CODE, 3), SHARED_LIB_CODE + 192);
+    }
+}

@@ -1,0 +1,189 @@
+//! PARSEC workload presets: 2-thread shared-memory programs.
+//!
+//! The paper runs pthread PARSEC benchmarks with 2 threads on 2 separate
+//! cores (system-emulation mode, clone allocating the second thread to the
+//! other core). Both threads belong to one process: they share the binary
+//! text and the benchmark's shared data arrays, while keeping thread-local
+//! stacks and data partitions. TimeCache tracks visibility per *hardware
+//! context*, so the threads still incur first-access misses against each
+//! other — but only at the shared LLC, since they never co-reside on a
+//! core's L1 (Fig. 9b).
+
+use crate::synthetic::{SyntheticParams, SyntheticWorkload};
+
+/// The PARSEC benchmarks of Fig. 9 / Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)]
+pub enum ParsecBenchmark {
+    Fluidanimate,
+    Raytrace,
+    Blackscholes,
+    X264,
+    Swaptions,
+    Facesim,
+}
+
+impl ParsecBenchmark {
+    /// Every benchmark, in Table II order.
+    pub const ALL: [ParsecBenchmark; 6] = [
+        ParsecBenchmark::Fluidanimate,
+        ParsecBenchmark::Raytrace,
+        ParsecBenchmark::Blackscholes,
+        ParsecBenchmark::X264,
+        ParsecBenchmark::Swaptions,
+        ParsecBenchmark::Facesim,
+    ];
+
+    /// Display name as the paper writes it.
+    pub fn name(self) -> &'static str {
+        match self {
+            ParsecBenchmark::Fluidanimate => "fluidanimate",
+            ParsecBenchmark::Raytrace => "raytrace",
+            ParsecBenchmark::Blackscholes => "blackscholes",
+            ParsecBenchmark::X264 => "x264",
+            ParsecBenchmark::Swaptions => "swaptions",
+            ParsecBenchmark::Facesim => "facesim",
+        }
+    }
+
+    /// A stable id selecting the shared binary text region (offset past the
+    /// SPEC ids so the suites never alias).
+    pub fn bench_id(self) -> usize {
+        64 + Self::ALL.iter().position(|&b| b == self).expect("in ALL")
+    }
+
+    /// Calibrated parameters for one thread of this benchmark.
+    ///
+    /// Compared with SPEC presets, the PARSEC ones exercise a shared data
+    /// segment (the benchmark's in-memory dataset) and lower overall miss
+    /// traffic, matching Table II's much smaller PARSEC MPKI values.
+    pub fn params(self) -> SyntheticParams {
+        let mut p = SyntheticParams {
+            name: self.name().to_owned(),
+            seed: 0xBEEF00 ^ self.bench_id() as u64,
+            shared_data_frac: 0.25,
+            ..SyntheticParams::default()
+        };
+        match self {
+            ParsecBenchmark::Fluidanimate => {
+                p.fresh_line_per_kinstr = 0.10;
+                p.peer_fresh_frac = 0.25;
+                p.resident_bytes = 256 * 1024;
+                p.shared_data_bytes = 768 * 1024;
+                p.bench_code_lines = 256;
+            }
+            ParsecBenchmark::Raytrace => {
+                p.fresh_line_per_kinstr = 0.25;
+                p.peer_fresh_frac = 0.01;
+                p.resident_bytes = 192 * 1024;
+                p.shared_data_bytes = 512 * 1024;
+                p.bench_code_lines = 512;
+            }
+            ParsecBenchmark::Blackscholes => {
+                p.fresh_line_per_kinstr = 0.04;
+                p.peer_fresh_frac = 0.10;
+                p.resident_bytes = 128 * 1024;
+                p.shared_data_bytes = 1 << 20;
+                p.bench_code_lines = 64;
+            }
+            ParsecBenchmark::X264 => {
+                p.fresh_line_per_kinstr = 0.8;
+                p.peer_fresh_frac = 0.05;
+                p.resident_bytes = 256 * 1024;
+                p.shared_data_bytes = 512 * 1024;
+                p.bench_code_lines = 512;
+                p.store_ratio = 0.4;
+            }
+            ParsecBenchmark::Swaptions => {
+                p.fresh_line_per_kinstr = 0.004;
+                p.peer_fresh_frac = 0.05;
+                p.resident_bytes = 64 * 1024;
+                p.shared_data_bytes = 256 * 1024;
+                p.bench_code_lines = 64;
+            }
+            ParsecBenchmark::Facesim => {
+                p.fresh_line_per_kinstr = 3.2;
+                p.peer_fresh_frac = 0.002;
+                p.resident_bytes = 256 * 1024;
+                p.shared_data_bytes = 512 * 1024;
+                p.bench_code_lines = 512;
+            }
+        }
+        p
+    }
+
+    /// Builds thread `thread` (0 or 1) of this benchmark.
+    pub fn thread_workload(self, thread: usize) -> SyntheticWorkload {
+        // Threads share text (same bench_id) and the shared data segment;
+        // the `instance` only separates the thread-local arenas.
+        SyntheticWorkload::new(self.params(), self.bench_id(), 16 + thread)
+    }
+
+    /// The paper's Table II baseline LLC MPKI for this benchmark.
+    pub fn paper_baseline_mpki(self) -> f64 {
+        match self {
+            ParsecBenchmark::Fluidanimate => 0.1317,
+            ParsecBenchmark::Raytrace => 0.2833,
+            ParsecBenchmark::Blackscholes => 0.0466,
+            ParsecBenchmark::X264 => 0.8264,
+            ParsecBenchmark::Swaptions => 0.0051,
+            ParsecBenchmark::Facesim => 3.3585,
+        }
+    }
+
+    /// The paper's Table II normalized execution time (overhead column).
+    pub fn paper_overhead(self) -> f64 {
+        match self {
+            ParsecBenchmark::Fluidanimate => 1.029,
+            ParsecBenchmark::Raytrace => 1.0015,
+            ParsecBenchmark::Blackscholes => 1.0013,
+            ParsecBenchmark::X264 => 1.0052,
+            ParsecBenchmark::Swaptions => 1.0025,
+            ParsecBenchmark::Facesim => 1.0086,
+        }
+    }
+}
+
+impl std::fmt::Display for ParsecBenchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SpecBenchmark;
+
+    #[test]
+    fn presets_validate() {
+        for b in ParsecBenchmark::ALL {
+            b.params().validate();
+        }
+    }
+
+    #[test]
+    fn ids_disjoint_from_spec() {
+        for p in ParsecBenchmark::ALL {
+            for s in SpecBenchmark::ALL {
+                assert_ne!(p.bench_id(), s.bench_id());
+            }
+        }
+    }
+
+    #[test]
+    fn threads_share_data_segment() {
+        for b in ParsecBenchmark::ALL {
+            assert!(b.params().shared_data_bytes > 0, "{b}");
+            assert!(b.params().shared_data_frac > 0.0, "{b}");
+        }
+    }
+
+    #[test]
+    fn paper_values_in_expected_ranges() {
+        for b in ParsecBenchmark::ALL {
+            assert!(b.paper_overhead() >= 1.0 && b.paper_overhead() < 1.05);
+            assert!(b.paper_baseline_mpki() < 4.0);
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! RSA victim: a from-scratch multi-precision integer (MPI) library,
+//! left-to-right square-and-multiply modular exponentiation, and a victim
+//! program whose shared-library code-line accesses leak the exponent —
+//! the target of the classic flush+reload attack the paper defends against
+//! (Section VI-A.2).
+//!
+//! GnuPG's `mpi_powm` processes the secret exponent most-significant-bit
+//! first: every bit costs a **Square** and a **Reduce**; a set bit
+//! additionally costs a **Multiply** and another **Reduce**. An attacker
+//! that can tell *when the Multiply routine's code lines become cached*
+//! reads the key bit-by-bit. The victim here actually executes that
+//! algorithm over real big integers (verified against reference
+//! arithmetic), emitting instruction fetches into the shared code lines of
+//! each primitive as it goes.
+
+mod modexp;
+mod mpi;
+mod victim;
+
+pub use modexp::{modexp, ModExp, PrimitiveOp};
+pub use mpi::Mpi;
+pub use victim::{rsa_code_layout, RsaCodeLayout, RsaVictim};

@@ -1,0 +1,221 @@
+//! Left-to-right square-and-multiply modular exponentiation with an
+//! instrumented primitive stream.
+//!
+//! This mirrors the structure of GnuPG's `mpi_powm` as described in the
+//! flush+reload paper (Yarom & Falkner, 2014) and in Section VI-A.2 of
+//! TimeCache: scanning the exponent from its most significant bit, every
+//! bit executes `Square; Reduce` and a **set** bit additionally executes
+//! `Multiply; Reduce`. The sequence of primitives — observable through the
+//! code lines they occupy in a shared library — is therefore a direct
+//! transcript of the secret exponent.
+
+use super::mpi::Mpi;
+
+/// The three exponentiation primitives whose code the attack watches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PrimitiveOp {
+    /// `mpih_sqr`: square the accumulator.
+    Square,
+    /// `mpih_mul`: multiply the accumulator by the base.
+    Multiply,
+    /// `mpih_divrem`: reduce the accumulator modulo the modulus.
+    Reduce,
+}
+
+/// An in-progress modular exponentiation that yields its primitive
+/// operations one at a time while actually computing the result.
+///
+/// # Examples
+///
+/// ```
+/// use timecache_workloads::rsa::{ModExp, Mpi, PrimitiveOp};
+///
+/// // 4^13 mod 497 = 445; exponent 13 = 0b1101.
+/// let mut me = ModExp::new(Mpi::from_u64(4), Mpi::from_u64(13), Mpi::from_u64(497));
+/// let ops: Vec<PrimitiveOp> = std::iter::from_fn(|| me.step()).collect();
+/// assert_eq!(me.result().to_u64(), Some(445));
+/// // MSB of the exponent initializes the accumulator; the remaining bits
+/// // 1, 0, 1 produce S R M R, S R, S R M R.
+/// use PrimitiveOp::*;
+/// assert_eq!(ops, vec![Square, Reduce, Multiply, Reduce,
+///                      Square, Reduce,
+///                      Square, Reduce, Multiply, Reduce]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ModExp {
+    base: Mpi,
+    exponent: Mpi,
+    modulus: Mpi,
+    acc: Mpi,
+    /// Next exponent bit to process (None before start / after finish).
+    next_bit: Option<usize>,
+    /// Primitives still pending for the current bit.
+    pending: Vec<PrimitiveOp>,
+}
+
+impl ModExp {
+    /// Prepares `base ^ exponent mod modulus`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus` is zero.
+    pub fn new(base: Mpi, exponent: Mpi, modulus: Mpi) -> Self {
+        assert!(!modulus.is_zero(), "modulus must be nonzero");
+        let bits = exponent.bit_len();
+        let (acc, next_bit) = if bits == 0 {
+            // exponent 0: result is 1 (mod m).
+            (Mpi::one().rem(&modulus), None)
+        } else {
+            // MSB handled by initializing the accumulator to base mod m.
+            (base.rem(&modulus), bits.checked_sub(2))
+        };
+        ModExp {
+            base,
+            exponent,
+            modulus,
+            acc,
+            next_bit: if bits >= 2 { next_bit } else { None },
+            pending: Vec::new(),
+        }
+    }
+
+    /// Executes the next primitive, returning which one ran, or `None` when
+    /// the exponentiation is complete. Each call performs *real* big-integer
+    /// arithmetic on the accumulator.
+    pub fn step(&mut self) -> Option<PrimitiveOp> {
+        if self.pending.is_empty() {
+            let bit_index = self.next_bit?;
+            let bit = self.exponent.bit(bit_index);
+            // Queue this bit's primitive sequence (executed front-first).
+            self.pending.push(PrimitiveOp::Square);
+            self.pending.push(PrimitiveOp::Reduce);
+            if bit {
+                self.pending.push(PrimitiveOp::Multiply);
+                self.pending.push(PrimitiveOp::Reduce);
+            }
+            self.pending.reverse(); // pop from the back
+            self.next_bit = bit_index.checked_sub(1);
+        }
+        let op = self.pending.pop()?;
+        match op {
+            PrimitiveOp::Square => self.acc = self.acc.square(),
+            PrimitiveOp::Multiply => self.acc = self.acc.mul(&self.base),
+            PrimitiveOp::Reduce => self.acc = self.acc.rem(&self.modulus),
+        }
+        Some(op)
+    }
+
+    /// Whether every primitive has executed.
+    pub fn is_done(&self) -> bool {
+        self.pending.is_empty() && self.next_bit.is_none()
+    }
+
+    /// True when the next [`ModExp::step`] would begin a *new* exponent bit
+    /// (or the exponentiation is finished) — i.e. the current bit's full
+    /// S-R or S-R-M-R sequence has executed. The victim program yields on
+    /// these boundaries so one scheduler window corresponds to exactly one
+    /// key bit.
+    pub fn at_bit_boundary(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// The accumulator; equals `base^exponent mod modulus` once
+    /// [`ModExp::is_done`].
+    pub fn result(&self) -> &Mpi {
+        &self.acc
+    }
+
+    /// Size of the working values in limbs (drives the victim's data
+    /// footprint).
+    pub fn operand_limbs(&self) -> usize {
+        self.modulus.limb_count().max(self.acc.limb_count())
+    }
+}
+
+/// Convenience: computes `base ^ exponent mod modulus` eagerly.
+pub fn modexp(base: &Mpi, exponent: &Mpi, modulus: &Mpi) -> Mpi {
+    let mut me = ModExp::new(base.clone(), exponent.clone(), modulus.clone());
+    while me.step().is_some() {}
+    me.result().clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn me(b: u64, e: u64, m: u64) -> u64 {
+        modexp(&Mpi::from_u64(b), &Mpi::from_u64(e), &Mpi::from_u64(m))
+            .to_u64()
+            .expect("fits")
+    }
+
+    /// Reference implementation over u128.
+    fn reference(b: u64, e: u64, m: u64) -> u64 {
+        let (mut result, mut base, mut exp) = (1u128, b as u128 % m as u128, e);
+        while exp > 0 {
+            if exp & 1 == 1 {
+                result = result * base % m as u128;
+            }
+            base = base * base % m as u128;
+            exp >>= 1;
+        }
+        result as u64
+    }
+
+    #[test]
+    fn matches_reference() {
+        for (b, e, m) in [
+            (4, 13, 497),
+            (2, 0, 7),
+            (2, 1, 7),
+            (0, 5, 7),
+            (12345, 6789, 99991),
+            (u32::MAX as u64, 65537, 0xFFFF_FFFB),
+        ] {
+            assert_eq!(me(b, e, m), reference(b, e, m), "{b}^{e} mod {m}");
+        }
+    }
+
+    #[test]
+    fn primitive_stream_encodes_exponent_bits() {
+        // Exponent 0b10110: after the MSB, bits 0,1,1,0 produce
+        // SR, SRMR, SRMR, SR.
+        let mut m = ModExp::new(Mpi::from_u64(3), Mpi::from_u64(0b10110), Mpi::from_u64(1009));
+        let ops: Vec<_> = std::iter::from_fn(|| m.step()).collect();
+        use PrimitiveOp::*;
+        assert_eq!(
+            ops,
+            vec![Square, Reduce, Square, Reduce, Multiply, Reduce,
+                 Square, Reduce, Multiply, Reduce, Square, Reduce]
+        );
+        assert!(m.is_done());
+    }
+
+    #[test]
+    fn zero_and_one_bit_exponents() {
+        let m = ModExp::new(Mpi::from_u64(5), Mpi::zero(), Mpi::from_u64(7));
+        assert!(m.is_done());
+        assert_eq!(m.result().to_u64(), Some(1));
+
+        let mut m = ModExp::new(Mpi::from_u64(5), Mpi::one(), Mpi::from_u64(7));
+        assert!(m.is_done(), "single-bit exponent needs no primitives");
+        assert_eq!(m.step(), None);
+        assert_eq!(m.result().to_u64(), Some(5));
+    }
+
+    #[test]
+    fn large_operands() {
+        // (2^128 - 1)^3 mod (2^127 - 1), cross-checked via algebra:
+        // 2^128 - 1 = 2*(2^127 - 1) + 1 => base ≡ 1, so result is 1.
+        let base = Mpi::from_hex("ffffffffffffffffffffffffffffffff");
+        let modulus = Mpi::from_hex("7fffffffffffffffffffffffffffffff");
+        let r = modexp(&base, &Mpi::from_u64(3), &modulus);
+        assert_eq!(r.to_u64(), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "modulus")]
+    fn zero_modulus_rejected() {
+        ModExp::new(Mpi::one(), Mpi::one(), Mpi::zero());
+    }
+}

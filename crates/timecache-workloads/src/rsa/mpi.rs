@@ -1,0 +1,397 @@
+//! Multi-precision unsigned integers.
+//!
+//! A small, dependency-free bignum sufficient for modular exponentiation:
+//! little-endian `u32` limbs with schoolbook multiplication, dedicated
+//! squaring, and shift-and-subtract division for modular reduction. The
+//! arithmetic is verified against `u128` references and property-tested in
+//! the crate's test suite.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An arbitrary-precision unsigned integer (little-endian `u32` limbs,
+/// normalized: no trailing zero limbs).
+///
+/// # Examples
+///
+/// ```
+/// use timecache_workloads::rsa::Mpi;
+///
+/// let a = Mpi::from_u64(0xFFFF_FFFF_FFFF_FFFF);
+/// let b = a.mul(&a);
+/// assert_eq!(b.to_hex(), "fffffffffffffffe0000000000000001");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Mpi {
+    /// Little-endian limbs; empty means zero.
+    limbs: Vec<u32>,
+}
+
+impl Mpi {
+    /// Zero.
+    pub fn zero() -> Self {
+        Mpi { limbs: Vec::new() }
+    }
+
+    /// One.
+    pub fn one() -> Self {
+        Mpi { limbs: vec![1] }
+    }
+
+    /// From a `u64`.
+    pub fn from_u64(v: u64) -> Self {
+        let mut m = Mpi {
+            limbs: vec![v as u32, (v >> 32) as u32],
+        };
+        m.normalize();
+        m
+    }
+
+    /// From little-endian limbs.
+    pub fn from_limbs(limbs: Vec<u32>) -> Self {
+        let mut m = Mpi { limbs };
+        m.normalize();
+        m
+    }
+
+    /// Parses a hexadecimal string (no prefix, case-insensitive).
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-hex characters.
+    pub fn from_hex(s: &str) -> Self {
+        assert!(!s.is_empty(), "empty hex string");
+        let mut limbs = Vec::with_capacity(s.len().div_ceil(8));
+        let bytes = s.as_bytes();
+        let mut i = s.len();
+        while i > 0 {
+            let lo = i.saturating_sub(8);
+            let chunk = std::str::from_utf8(&bytes[lo..i]).expect("ascii hex");
+            limbs.push(u32::from_str_radix(chunk, 16).expect("hex digit"));
+            i = lo;
+        }
+        Mpi::from_limbs(limbs)
+    }
+
+    /// Lowercase hexadecimal rendering (no prefix; "0" for zero).
+    pub fn to_hex(&self) -> String {
+        if self.limbs.is_empty() {
+            return "0".to_owned();
+        }
+        let mut s = format!("{:x}", self.limbs.last().expect("nonempty"));
+        for limb in self.limbs.iter().rev().skip(1) {
+            s.push_str(&format!("{limb:08x}"));
+        }
+        s
+    }
+
+    /// Whether the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Number of significant bits (0 for zero).
+    pub fn bit_len(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(top) => self.limbs.len() * 32 - top.leading_zeros() as usize,
+        }
+    }
+
+    /// Bit `i` (little-endian position; out-of-range bits are zero).
+    pub fn bit(&self, i: usize) -> bool {
+        self.limbs
+            .get(i / 32)
+            .map_or(false, |limb| limb >> (i % 32) & 1 == 1)
+    }
+
+    /// The value as a `u64`, if it fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0] as u64),
+            2 => Some(self.limbs[0] as u64 | (self.limbs[1] as u64) << 32),
+            _ => None,
+        }
+    }
+
+    /// The number of `u32` limbs (0 for zero).
+    pub fn limb_count(&self) -> usize {
+        self.limbs.len()
+    }
+
+    /// Addition.
+    pub fn add(&self, rhs: &Mpi) -> Mpi {
+        let (long, short) = if self.limbs.len() >= rhs.limbs.len() {
+            (&self.limbs, &rhs.limbs)
+        } else {
+            (&rhs.limbs, &self.limbs)
+        };
+        let mut out = Vec::with_capacity(long.len() + 1);
+        let mut carry = 0u64;
+        for i in 0..long.len() {
+            let sum = long[i] as u64 + *short.get(i).unwrap_or(&0) as u64 + carry;
+            out.push(sum as u32);
+            carry = sum >> 32;
+        }
+        if carry > 0 {
+            out.push(carry as u32);
+        }
+        Mpi::from_limbs(out)
+    }
+
+    /// Subtraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs > self` (values are unsigned).
+    pub fn sub(&self, rhs: &Mpi) -> Mpi {
+        assert!(self.cmp_to(rhs) != Ordering::Less, "underflow in Mpi::sub");
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0i64;
+        for i in 0..self.limbs.len() {
+            let d = self.limbs[i] as i64 - *rhs.limbs.get(i).unwrap_or(&0) as i64 - borrow;
+            if d < 0 {
+                out.push((d + (1i64 << 32)) as u32);
+                borrow = 1;
+            } else {
+                out.push(d as u32);
+                borrow = 0;
+            }
+        }
+        Mpi::from_limbs(out)
+    }
+
+    /// Schoolbook multiplication.
+    pub fn mul(&self, rhs: &Mpi) -> Mpi {
+        if self.is_zero() || rhs.is_zero() {
+            return Mpi::zero();
+        }
+        let mut out = vec![0u32; self.limbs.len() + rhs.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry = 0u64;
+            for (j, &b) in rhs.limbs.iter().enumerate() {
+                let t = out[i + j] as u64 + a as u64 * b as u64 + carry;
+                out[i + j] = t as u32;
+                carry = t >> 32;
+            }
+            let mut k = i + rhs.limbs.len();
+            while carry > 0 {
+                let t = out[k] as u64 + carry;
+                out[k] = t as u32;
+                carry = t >> 32;
+                k += 1;
+            }
+        }
+        Mpi::from_limbs(out)
+    }
+
+    /// Squaring (dedicated routine, as in GnuPG's `mpih_sqr`; numerically
+    /// identical to `self.mul(self)` but exercised as its own code path —
+    /// the attack distinguishes Square from Multiply by *address*).
+    pub fn square(&self) -> Mpi {
+        self.mul(self)
+    }
+
+    /// Left shift by `bits`.
+    pub fn shl(&self, bits: usize) -> Mpi {
+        if self.is_zero() || bits == 0 {
+            let mut c = self.clone();
+            c.normalize();
+            return c;
+        }
+        let (words, rem) = (bits / 32, bits % 32);
+        let mut out = vec![0u32; self.limbs.len() + words + 1];
+        for (i, &l) in self.limbs.iter().enumerate() {
+            let v = (l as u64) << rem;
+            out[i + words] |= v as u32;
+            out[i + words + 1] |= (v >> 32) as u32;
+        }
+        Mpi::from_limbs(out)
+    }
+
+    /// Comparison (named to avoid clashing with `Ord::cmp`; `Ord` is also
+    /// implemented and delegates here).
+    pub fn cmp_to(&self, rhs: &Mpi) -> Ordering {
+        if self.limbs.len() != rhs.limbs.len() {
+            return self.limbs.len().cmp(&rhs.limbs.len());
+        }
+        for (a, b) in self.limbs.iter().rev().zip(rhs.limbs.iter().rev()) {
+            match a.cmp(b) {
+                Ordering::Equal => continue,
+                other => return other,
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// Remainder: `self mod m`, by shift-and-subtract long division.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    pub fn rem(&self, m: &Mpi) -> Mpi {
+        assert!(!m.is_zero(), "division by zero");
+        if self.cmp_to(m) == Ordering::Less {
+            return self.clone();
+        }
+        let mut r = self.clone();
+        let shift = self.bit_len() - m.bit_len();
+        let mut d = m.shl(shift);
+        for _ in 0..=shift {
+            if r.cmp_to(&d) != Ordering::Less {
+                r = r.sub(&d);
+            }
+            d = d.shr1();
+        }
+        debug_assert!(r.cmp_to(m) == Ordering::Less);
+        r
+    }
+
+    /// Right shift by one bit.
+    fn shr1(&self) -> Mpi {
+        let mut out = vec![0u32; self.limbs.len()];
+        let mut carry = 0u32;
+        for (i, &l) in self.limbs.iter().enumerate().rev() {
+            out[i] = l >> 1 | carry << 31;
+            carry = l & 1;
+        }
+        Mpi::from_limbs(out)
+    }
+
+    fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+}
+
+impl PartialOrd for Mpi {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp_to(other))
+    }
+}
+
+impl Ord for Mpi {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.cmp_to(other)
+    }
+}
+
+impl From<u64> for Mpi {
+    fn from(v: u64) -> Self {
+        Mpi::from_u64(v)
+    }
+}
+
+impl fmt::Display for Mpi {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{}", self.to_hex())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_roundtrip() {
+        for v in [0u64, 1, 0xFFFF_FFFF, 0x1_0000_0000, u64::MAX] {
+            assert_eq!(Mpi::from_u64(v).to_u64(), Some(v));
+        }
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        for s in ["0", "1", "deadbeef", "123456789abcdef0123456789abcdef"] {
+            assert_eq!(Mpi::from_hex(s).to_hex(), s);
+        }
+    }
+
+    #[test]
+    fn add_sub_inverse() {
+        let a = Mpi::from_hex("ffffffffffffffffffffffff");
+        let b = Mpi::from_hex("1fffffffffffffff");
+        assert_eq!(a.add(&b).sub(&b), a);
+        assert_eq!(a.sub(&a), Mpi::zero());
+    }
+
+    #[test]
+    fn mul_matches_u128() {
+        let cases = [
+            (0u64, 0u64),
+            (1, u64::MAX),
+            (0xDEAD_BEEF, 0xCAFE_BABE),
+            (u64::MAX, u64::MAX),
+        ];
+        for (a, b) in cases {
+            let got = Mpi::from_u64(a).mul(&Mpi::from_u64(b));
+            let want = a as u128 * b as u128;
+            assert_eq!(got.to_hex(), format!("{want:x}"), "{a} * {b}");
+        }
+    }
+
+    #[test]
+    fn square_equals_self_mul() {
+        let a = Mpi::from_hex("fedcba9876543210fedcba9876543210");
+        assert_eq!(a.square(), a.mul(&a));
+    }
+
+    #[test]
+    fn rem_matches_u128() {
+        let cases = [
+            (12345u128, 7u64),
+            (u64::MAX as u128 * 3 + 5, u64::MAX),
+            (0x1234_5678_9ABC_DEF0_u128 << 32, 0xFFFF_FFF1),
+        ];
+        for (a, m) in cases {
+            let am = Mpi::from_hex(&format!("{a:x}"));
+            let mm = Mpi::from_u64(m);
+            let got = am.rem(&mm);
+            let want = a % m as u128;
+            assert_eq!(got.to_hex(), format!("{want:x}"), "{a} % {m}");
+        }
+    }
+
+    #[test]
+    fn shl_shifts() {
+        let a = Mpi::from_u64(1);
+        assert_eq!(a.shl(0), a);
+        assert_eq!(a.shl(33).to_u64(), Some(1 << 33));
+        assert_eq!(Mpi::from_u64(0b101).shl(31).to_hex(), "280000000");
+    }
+
+    #[test]
+    fn bits_and_len() {
+        let a = Mpi::from_u64(0b1011);
+        assert_eq!(a.bit_len(), 4);
+        assert!(a.bit(0) && a.bit(1) && !a.bit(2) && a.bit(3));
+        assert!(!a.bit(1000));
+        assert_eq!(Mpi::zero().bit_len(), 0);
+    }
+
+    #[test]
+    fn ordering() {
+        let a = Mpi::from_hex("100000000");
+        let b = Mpi::from_hex("ffffffff");
+        assert!(a > b);
+        assert_eq!(a.cmp_to(&a), Ordering::Equal);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        Mpi::from_u64(1).sub(&Mpi::from_u64(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn rem_by_zero_panics() {
+        Mpi::from_u64(1).rem(&Mpi::zero());
+    }
+
+    #[test]
+    fn display_is_prefixed_hex() {
+        assert_eq!(Mpi::from_u64(255).to_string(), "0xff");
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests for the workload crate: the MPI bignum against
+//! `u128` references, and modular exponentiation against a fast native
+//! implementation.
+
+use proptest::prelude::*;
+use timecache_workloads::rsa::{modexp, ModExp, Mpi, PrimitiveOp};
+
+fn native_modexp(b: u64, e: u64, m: u64) -> u64 {
+    let (mut result, mut base, mut exp) = (1u128, b as u128 % m as u128, e);
+    while exp > 0 {
+        if exp & 1 == 1 {
+            result = result * base % m as u128;
+        }
+        base = base * base % m as u128;
+        exp >>= 1;
+    }
+    result as u64
+}
+
+proptest! {
+    #[test]
+    fn add_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        let got = Mpi::from_u64(a).add(&Mpi::from_u64(b));
+        let want = a as u128 + b as u128;
+        prop_assert_eq!(got.to_hex(), format!("{:x}", want));
+    }
+
+    #[test]
+    fn sub_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+        let got = Mpi::from_u64(hi).sub(&Mpi::from_u64(lo));
+        prop_assert_eq!(got.to_hex(), format!("{:x}", hi - lo));
+    }
+
+    #[test]
+    fn mul_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        let got = Mpi::from_u64(a).mul(&Mpi::from_u64(b));
+        let want = a as u128 * b as u128;
+        prop_assert_eq!(got.to_hex(), format!("{:x}", want));
+    }
+
+    #[test]
+    fn rem_matches_u128(a in any::<u64>(), b in any::<u64>(), m in 1u64..) {
+        // A 128-bit dividend from two random halves.
+        let wide = Mpi::from_u64(a).shl(64).add(&Mpi::from_u64(b));
+        let got = wide.rem(&Mpi::from_u64(m));
+        let want = ((a as u128) << 64 | b as u128) % m as u128;
+        prop_assert_eq!(got.to_hex(), format!("{:x}", want));
+    }
+
+    #[test]
+    fn square_equals_mul_self(limbs in prop::collection::vec(any::<u32>(), 0..12)) {
+        let a = Mpi::from_limbs(limbs);
+        prop_assert_eq!(a.square(), a.mul(&a));
+    }
+
+    #[test]
+    fn hex_roundtrips(limbs in prop::collection::vec(any::<u32>(), 0..12)) {
+        let a = Mpi::from_limbs(limbs);
+        prop_assert_eq!(Mpi::from_hex(&a.to_hex()), a);
+    }
+
+    #[test]
+    fn shl_matches_u128(a in any::<u64>(), shift in 0usize..64) {
+        let got = Mpi::from_u64(a).shl(shift);
+        let want = (a as u128) << shift;
+        prop_assert_eq!(got.to_hex(), format!("{:x}", want));
+    }
+
+    #[test]
+    fn modexp_matches_native(b in any::<u64>(), e in any::<u64>(), m in 2u64..) {
+        let got = modexp(&Mpi::from_u64(b), &Mpi::from_u64(e), &Mpi::from_u64(m));
+        prop_assert_eq!(got.to_hex(), format!("{:x}", native_modexp(b, e, m)));
+    }
+
+    /// The primitive stream is a faithful transcript of the exponent: one
+    /// Square per post-MSB bit, one extra Multiply per set bit, Reduces
+    /// pairing each.
+    #[test]
+    fn primitive_stream_counts(e in 2u64.., m in 3u64..) {
+        let mut me = ModExp::new(Mpi::from_u64(7), Mpi::from_u64(e), Mpi::from_u64(m));
+        let mut squares = 0u32;
+        let mut multiplies = 0u32;
+        let mut reduces = 0u32;
+        while let Some(op) = me.step() {
+            match op {
+                PrimitiveOp::Square => squares += 1,
+                PrimitiveOp::Multiply => multiplies += 1,
+                PrimitiveOp::Reduce => reduces += 1,
+            }
+        }
+        let bits = 64 - e.leading_zeros();
+        let tail_ones = (e.count_ones() - 1) as u32; // MSB excluded
+        prop_assert_eq!(squares, bits - 1);
+        prop_assert_eq!(multiplies, tail_ones);
+        prop_assert_eq!(reduces, squares + multiplies);
+    }
+}

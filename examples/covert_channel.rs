@@ -1,0 +1,39 @@
+//! Spectre's favourite covert channel: encoding bits into shared-line
+//! residency. A sender touches (1) or skips (0) a shared line once per
+//! window; a flush+reload receiver decodes it. TimeCache collapses the
+//! channel, which is how it also neutralizes speculative-execution leaks
+//! that rely on a reuse channel for exfiltration (paper, Section IX).
+//!
+//! ```text
+//! cargo run --release --example covert_channel
+//! ```
+
+use timecache::attacks::covert::run_covert_channel;
+use timecache::attacks::harness::timecache_mode;
+use timecache::sim::SecurityMode;
+
+fn main() {
+    let bits = 256;
+    let baseline = run_covert_channel(SecurityMode::Baseline, bits);
+    let defended = run_covert_channel(timecache_mode(), bits);
+
+    println!("covert channel over one shared cache line ({bits}-bit payload):");
+    println!(
+        "  baseline : {:>5.1}% decoded correctly, {:>7.1} usable bits per Mcycle",
+        baseline.accuracy() * 100.0,
+        baseline.effective_bandwidth()
+    );
+    println!(
+        "  timecache: {:>5.1}% decoded correctly, {:>7.1} usable bits per Mcycle",
+        defended.accuracy() * 100.0,
+        defended.effective_bandwidth()
+    );
+    println!();
+    if baseline.leaks() && !defended.leaks() {
+        println!("verdict: the channel carries the payload faithfully on a conventional");
+        println!("cache and collapses to guessing under TimeCache — the exfiltration");
+        println!("path Spectre-class attacks depend on is gone.");
+    } else {
+        println!("verdict: UNEXPECTED — see the numbers above.");
+    }
+}

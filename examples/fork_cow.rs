@@ -1,0 +1,112 @@
+//! Fork and copy-on-write under TimeCache: the deployment the paper's
+//! introduction argues for. A parent process forks a worker; text and data
+//! stay physically shared until written (COW), maximizing memory savings —
+//! and a flush+reload spy watching the shared pages learns the workers'
+//! access pattern on a conventional cache but nothing under TimeCache.
+//!
+//! ```text
+//! cargo run --release --example fork_cow
+//! ```
+
+use timecache::attacks::analysis::Threshold;
+use timecache::attacks::flush_reload::{summarize, FlushReloadAttacker};
+use timecache::attacks::harness::timecache_mode;
+use timecache::os::vm::{Vm, VmProgram, PAGE_SIZE};
+use timecache::os::{DataKind, Op, Program, System, SystemConfig};
+use timecache::sim::{Addr, SecurityMode};
+
+/// A worker walking its (virtually addressed) data pages: reads mostly,
+/// with occasional writes that trigger COW divergence.
+#[derive(Debug)]
+struct Worker {
+    vbase: Addr,
+    pages: u64,
+    step: u64,
+    write_every: u64,
+}
+
+impl Program for Worker {
+    fn next_op(&mut self) -> Op {
+        let line = self.step % (self.pages * PAGE_SIZE / 64);
+        let addr = self.vbase + line * 64;
+        self.step += 1;
+        let kind = if self.step % self.write_every == 0 {
+            DataKind::Store
+        } else {
+            DataKind::Load
+        };
+        Op::Instr {
+            pc: self.vbase + self.pages * PAGE_SIZE, // text page after data
+            data: Some((kind, addr)),
+        }
+    }
+
+    fn name(&self) -> &str {
+        "worker"
+    }
+}
+
+fn run(security: SecurityMode) -> (u64, u64, u64) {
+    let mut cfg = SystemConfig::default();
+    cfg.hierarchy.security = security;
+    cfg.quantum_cycles = 100_000;
+    let mut sys = System::new(cfg).expect("valid config");
+    let lat = sys.config().hierarchy.latencies;
+
+    // Parent address space: 8 data pages + 1 text page, then fork.
+    let vm = Vm::new();
+    let parent = vm.new_space();
+    let vbase = 0x10_0000u64;
+    vm.map_anon(parent, vbase, 9 * PAGE_SIZE);
+    let child = vm.fork(parent);
+
+    // The spy targets the *physical* pages the fork shares (a hosting
+    // provider's dedup scanner would know them; here we just translate).
+    let targets: Vec<Addr> = (0..8)
+        .map(|i| vm.translate(parent, vbase + i * PAGE_SIZE, false).0)
+        .collect();
+    let (spy, log) = FlushReloadAttacker::new(targets, Threshold::cross_core(&lat), 40);
+
+    sys.spawn(
+        Box::new(VmProgram::new(
+            Worker { vbase, pages: 8, step: 0, write_every: 9973 },
+            vm.clone(),
+            parent,
+        )),
+        0,
+        0,
+        Some(120_000),
+    );
+    sys.spawn(
+        Box::new(VmProgram::new(
+            Worker { vbase, pages: 8, step: 1, write_every: 7919 },
+            vm.clone(),
+            child,
+        )),
+        0,
+        0,
+        Some(120_000),
+    );
+    sys.spawn(Box::new(spy), 0, 0, None);
+
+    sys.run(u64::MAX);
+    let s = summarize(&log);
+    (s.hits, s.probes, vm.cow_faults())
+}
+
+fn main() {
+    let (base_hits, base_probes, base_faults) = run(SecurityMode::Baseline);
+    let (tc_hits, tc_probes, tc_faults) = run(timecache_mode());
+
+    println!("parent + forked child on COW pages, flush+reload spy on the shared frames:");
+    println!("  baseline : spy sees {base_hits}/{base_probes} hits; {base_faults} COW faults taken");
+    println!("  timecache: spy sees {tc_hits}/{tc_probes} hits; {tc_faults} COW faults taken");
+    println!();
+    if base_hits > 0 && tc_hits == 0 && base_faults == tc_faults {
+        println!("verdict: fork/COW works identically under both modes (same faults,");
+        println!("same sharing), but only TimeCache makes the shared frames unobservable —");
+        println!("the paper's argument that the defense unlocks dedup/COW deployment.");
+    } else {
+        println!("verdict: UNEXPECTED — see the numbers above.");
+    }
+}

@@ -1,0 +1,55 @@
+//! Quickstart: build a simulated machine, time-slice two processes on one
+//! core, and compare a conventional cache against TimeCache.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use timecache::os::{programs::StridedLoop, System, SystemConfig};
+use timecache::sim::SecurityMode;
+use timecache::core::TimeCacheConfig;
+
+fn run(security: SecurityMode) -> (u64, u64) {
+    let mut cfg = SystemConfig::default(); // Table I hierarchy, 1 ms quanta
+    cfg.hierarchy.security = security;
+    cfg.quantum_cycles = 100_000;
+    let mut sys = System::new(cfg).expect("valid config");
+
+    // Two processes sharing a 128 KiB buffer (e.g. a deduplicated page
+    // range): both stream through the same physical lines.
+    let shared_base = 0x6000_0000_0000;
+    sys.spawn(
+        Box::new(StridedLoop::new(shared_base, 128 * 1024, 64)),
+        0,
+        0,
+        Some(200_000),
+    );
+    sys.spawn(
+        Box::new(StridedLoop::new(shared_base, 128 * 1024, 64)),
+        0,
+        0,
+        Some(200_000),
+    );
+
+    let report = sys.run(u64::MAX);
+    assert!(report.all_completed());
+    (report.total_cycles, report.stats.total_first_access())
+}
+
+fn main() {
+    let (base_cycles, base_fa) = run(SecurityMode::Baseline);
+    let (tc_cycles, tc_fa) = run(SecurityMode::TimeCache(TimeCacheConfig::default()));
+
+    println!("two processes, one core, 128 KiB of shared lines:");
+    println!("  baseline : {base_cycles:>12} cycles, {base_fa:>6} first-access misses");
+    println!("  timecache: {tc_cycles:>12} cycles, {tc_fa:>6} first-access misses");
+    println!(
+        "  normalized execution time: {:.4} (overhead {:.2}%)",
+        tc_cycles as f64 / base_cycles as f64,
+        (tc_cycles as f64 / base_cycles as f64 - 1.0) * 100.0
+    );
+    println!();
+    println!("TimeCache delays each process's *first* access to lines the other");
+    println!("process cached (the first-access misses above); steady-state sharing");
+    println!("is unaffected, which is why the overhead stays small.");
+}

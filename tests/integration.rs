@@ -1,0 +1,163 @@
+//! Cross-crate integration tests: whole-system behaviour spanning the
+//! core mechanism, the simulator, the OS model, the workloads, and the
+//! attacks.
+
+use timecache::attacks::harness::{run_microbenchmark, timecache_mode};
+use timecache::attacks::rsa_attack::run_rsa_attack;
+use timecache::core::TimeCacheConfig;
+use timecache::os::{programs::StridedLoop, System, SystemConfig};
+use timecache::sim::SecurityMode;
+use timecache::workloads::rsa::{modexp, Mpi};
+use timecache::workloads::SpecBenchmark;
+
+/// The paper's Section VI-A.1 result: the microbenchmark attack sees hits
+/// at baseline and zero hits under TimeCache.
+#[test]
+fn microbenchmark_end_to_end() {
+    let base = run_microbenchmark(SecurityMode::Baseline, 4);
+    assert!(base.hits > 0, "baseline must leak: {base:?}");
+    let tc = run_microbenchmark(timecache_mode(), 4);
+    assert_eq!(tc.hits, 0, "timecache must not leak: {tc:?}");
+    assert_eq!(tc.probes, base.probes, "identical probe schedules");
+}
+
+/// The paper's Section VI-A.2 result, end to end with real bignum math.
+#[test]
+fn rsa_key_extraction_end_to_end() {
+    let key = Mpi::from_u64(0xDEAD_BEEF);
+    let base = run_rsa_attack(SecurityMode::Baseline, &key);
+    assert!(base.accuracy > 0.95, "baseline recovery {base:?}");
+    let tc = run_rsa_attack(timecache_mode(), &key);
+    assert_eq!(tc.decoded_windows, 0, "timecache leak: {tc:?}");
+}
+
+/// The victim's arithmetic stays correct while under attack (the defense
+/// must not perturb data, only timing).
+#[test]
+fn rsa_math_is_correct() {
+    let base = Mpi::from_u64(0x1234_5678_9ABC_DEF1);
+    let key = Mpi::from_u64(0xC3A5);
+    let modulus = Mpi::from_hex("f123456789abcdef0123456789abcdef");
+    let expected = modexp(&base, &key, &modulus);
+    // Recompute step-by-step as the victim program does.
+    let mut me = timecache::workloads::rsa::ModExp::new(base, key, modulus);
+    while me.step().is_some() {}
+    assert_eq!(me.result(), &expected);
+}
+
+/// Overhead sanity: engaging TimeCache on a shared-heavy pair costs a few
+/// percent at most and never speeds things up by much.
+#[test]
+fn overhead_is_small_for_spec_pair() {
+    let run = |security: SecurityMode| {
+        let mut cfg = SystemConfig::default();
+        cfg.hierarchy.security = security;
+        cfg.quantum_cycles = 100_000;
+        let mut sys = System::new(cfg).unwrap();
+        let bench = SpecBenchmark::H264ref;
+        sys.spawn(Box::new(bench.workload(0)), 0, 0, Some(150_000));
+        sys.spawn(Box::new(bench.workload(1)), 0, 0, Some(150_000));
+        let r = sys.run(u64::MAX);
+        assert!(r.all_completed());
+        r.total_cycles
+    };
+    let base = run(SecurityMode::Baseline);
+    let tc = run(SecurityMode::TimeCache(TimeCacheConfig::default()));
+    let ratio = tc as f64 / base as f64;
+    assert!(
+        (0.97..1.15).contains(&ratio),
+        "normalized execution time {ratio}"
+    );
+}
+
+/// Determinism: identical configurations produce identical reports.
+#[test]
+fn runs_are_deterministic() {
+    let run = || {
+        let mut cfg = SystemConfig::default();
+        cfg.hierarchy.security = timecache_mode();
+        cfg.quantum_cycles = 50_000;
+        let mut sys = System::new(cfg).unwrap();
+        let bench = SpecBenchmark::Gobmk;
+        sys.spawn(Box::new(bench.workload(0)), 0, 0, Some(80_000));
+        sys.spawn(Box::new(bench.workload(1)), 0, 0, Some(80_000));
+        sys.run(u64::MAX)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.total_cycles, b.total_cycles);
+    assert_eq!(a.stats, b.stats);
+    assert_eq!(a.context_switches, b.context_switches);
+}
+
+/// The baseline never records first-access misses; TimeCache records them
+/// only at caches the contexts actually share.
+#[test]
+fn first_access_accounting_is_mode_consistent() {
+    let run = |security: SecurityMode| {
+        let mut cfg = SystemConfig::default();
+        cfg.hierarchy.security = security;
+        cfg.quantum_cycles = 50_000;
+        let mut sys = System::new(cfg).unwrap();
+        sys.spawn(
+            Box::new(StridedLoop::new(0x6000_0000_0000, 64 * 1024, 64)),
+            0,
+            0,
+            Some(60_000),
+        );
+        sys.spawn(
+            Box::new(StridedLoop::new(0x6000_0000_0000, 64 * 1024, 64)),
+            0,
+            0,
+            Some(60_000),
+        );
+        sys.run(u64::MAX)
+    };
+    let base = run(SecurityMode::Baseline);
+    assert_eq!(base.stats.total_first_access(), 0);
+    let tc = run(timecache_mode());
+    assert!(
+        tc.stats.total_first_access() > 0,
+        "shared streaming must produce first accesses"
+    );
+}
+
+/// Narrow (rollover-heavy) timestamps may cost extra misses but never
+/// re-open the channel.
+#[test]
+fn rollover_preserves_security() {
+    let narrow = SecurityMode::TimeCache(TimeCacheConfig::new(18));
+    let r = run_microbenchmark(narrow, 3);
+    assert_eq!(r.hits, 0, "rollover must never grant stale hits: {r:?}");
+}
+
+/// SMT isolation end to end: a sibling-thread spy is blind under TimeCache
+/// without any context switch.
+#[test]
+fn smt_isolation_end_to_end() {
+    use timecache::attacks::analysis::Threshold;
+    use timecache::attacks::flush_reload::{summarize, FlushReloadAttacker};
+    use timecache::os::programs::SharedWriter;
+
+    let run = |security: SecurityMode| {
+        let mut cfg = SystemConfig::default();
+        cfg.hierarchy.smt_per_core = 2;
+        cfg.hierarchy.security = security;
+        cfg.quantum_cycles = 50_000;
+        let mut sys = System::new(cfg).unwrap();
+        let lat = sys.config().hierarchy.latencies;
+        let targets: Vec<u64> = (0..32).map(|i| 0x6000_0000_0000 + i * 64).collect();
+        let (spy, log) = FlushReloadAttacker::new(targets, Threshold::calibrate(&lat), 5);
+        sys.spawn(
+            Box::new(SharedWriter::new(0x6000_0000_0000, 32, 64)),
+            0,
+            0,
+            Some(20_000),
+        );
+        sys.spawn(Box::new(spy), 0, 1, None);
+        sys.run(u64::MAX);
+        summarize(&log)
+    };
+    assert!(run(SecurityMode::Baseline).hits > 0);
+    assert_eq!(run(timecache_mode()).hits, 0);
+}

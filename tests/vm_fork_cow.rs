@@ -1,0 +1,116 @@
+//! Cross-crate integration: the fork/COW deployment scenario the paper's
+//! introduction motivates, end to end through the VM substrate, the
+//! scheduler, the hierarchy, and the attack framework.
+
+use timecache::attacks::analysis::Threshold;
+use timecache::attacks::flush_reload::{summarize, FlushReloadAttacker};
+use timecache::attacks::harness::timecache_mode;
+use timecache::os::vm::{Vm, VmProgram, PAGE_SIZE};
+use timecache::os::{DataKind, Op, Program, System, SystemConfig};
+use timecache::sim::{Addr, SecurityMode};
+
+/// Reads every line of its pages round-robin; writes one specific line
+/// periodically (to exercise COW).
+#[derive(Debug)]
+struct PageWalker {
+    vbase: Addr,
+    pages: u64,
+    step: u64,
+}
+
+impl Program for PageWalker {
+    fn next_op(&mut self) -> Op {
+        let lines = self.pages * PAGE_SIZE / 64;
+        let addr = self.vbase + (self.step % lines) * 64;
+        self.step += 1;
+        let kind = if self.step % 997 == 0 {
+            DataKind::Store
+        } else {
+            DataKind::Load
+        };
+        Op::Instr {
+            pc: self.vbase + self.pages * PAGE_SIZE,
+            data: Some((kind, addr)),
+        }
+    }
+
+    fn name(&self) -> &str {
+        "page-walker"
+    }
+}
+
+fn run(security: SecurityMode) -> (u64, u64, u64) {
+    let mut cfg = SystemConfig::default();
+    cfg.hierarchy.security = security;
+    cfg.quantum_cycles = 50_000;
+    let mut sys = System::new(cfg).unwrap();
+    let lat = sys.config().hierarchy.latencies;
+
+    let vm = Vm::new();
+    let parent = vm.new_space();
+    let vbase = 0x40_0000u64;
+    vm.map_anon(parent, vbase, 5 * PAGE_SIZE); // 4 data pages + text
+    let child = vm.fork(parent);
+
+    let targets: Vec<Addr> = (0..4)
+        .map(|i| vm.translate(parent, vbase + i * PAGE_SIZE, false).0)
+        .collect();
+    let (spy, log) = FlushReloadAttacker::new(targets, Threshold::cross_core(&lat), 20);
+
+    sys.spawn(
+        Box::new(VmProgram::new(
+            PageWalker { vbase, pages: 4, step: 0 },
+            vm.clone(),
+            parent,
+        )),
+        0,
+        0,
+        Some(40_000),
+    );
+    sys.spawn(
+        Box::new(VmProgram::new(
+            PageWalker { vbase, pages: 4, step: 13 },
+            vm.clone(),
+            child,
+        )),
+        0,
+        0,
+        Some(40_000),
+    );
+    sys.spawn(Box::new(spy), 0, 0, None);
+    sys.run(u64::MAX);
+    let s = summarize(&log);
+    (s.hits, s.probes, vm.cow_faults())
+}
+
+#[test]
+fn fork_cow_leaks_at_baseline_and_not_under_timecache() {
+    let (base_hits, base_probes, base_faults) = run(SecurityMode::Baseline);
+    assert!(base_hits > 0, "baseline spy must see fork-shared residency");
+    assert_eq!(base_probes, 80);
+    assert!(base_faults > 0, "walkers must trigger COW divergence");
+
+    let (tc_hits, tc_probes, tc_faults) = run(timecache_mode());
+    assert_eq!(tc_hits, 0, "TimeCache must blind the spy");
+    assert_eq!(tc_probes, 80);
+    assert_eq!(
+        tc_faults, base_faults,
+        "the defense must not change COW semantics"
+    );
+}
+
+#[test]
+fn cow_divergence_isolates_write_traffic() {
+    // After the child writes a page, the parent's reads of that page keep
+    // hitting the original frame: physically different lines.
+    let vm = Vm::new();
+    let parent = vm.new_space();
+    vm.map_anon(parent, 0x1000, PAGE_SIZE);
+    let child = vm.fork(parent);
+    let (orig, _) = vm.translate(parent, 0x1040, false);
+    let (child_w, _) = vm.translate(child, 0x1040, true);
+    assert_ne!(orig, child_w);
+    // Parent's view unchanged; child's subsequent reads see its copy.
+    assert_eq!(vm.translate(parent, 0x1040, false).0, orig);
+    assert_eq!(vm.translate(child, 0x1040, false).0, child_w);
+}
