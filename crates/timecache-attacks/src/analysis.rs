@@ -1,6 +1,7 @@
 //! Measurement analysis: hit/miss thresholding and key recovery.
 
 use timecache_sim::LatencyConfig;
+use timecache_telemetry::{Histogram, HISTOGRAM_BUCKETS};
 
 /// A calibrated hit/miss decision threshold, as a real attacker derives by
 /// timing a known-cached and a known-flushed access.
@@ -42,6 +43,49 @@ impl Threshold {
     /// Builds a threshold directly from a cycle count.
     pub fn from_cycles(cycles: u64) -> Self {
         Threshold { cycles }
+    }
+
+    /// Empirical calibration from a probe-latency histogram (as recorded by
+    /// the telemetry-instrumented attackers): assumes a bimodal latency
+    /// distribution, finds the two most-populated buckets, and places the
+    /// boundary midway between the fast mode's upper bucket bound and the
+    /// slow mode's lower bucket bound. This mirrors how a real attacker
+    /// calibrates — time many known-cached and known-flushed loads, then
+    /// split the two clusters.
+    ///
+    /// Returns `None` when the histogram has fewer than two populated
+    /// buckets (no separable modes — e.g. under TimeCache, where every
+    /// probe is miss-latency).
+    pub fn from_histogram(hist: &Histogram) -> Option<Self> {
+        let counts = hist.bucket_counts();
+        let mut top: Option<usize> = None;
+        let mut second: Option<usize> = None;
+        for (i, &c) in counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            match top {
+                Some(t) if counts[t] >= c => match second {
+                    Some(s) if counts[s] >= c => {}
+                    _ => second = Some(i),
+                },
+                _ => {
+                    second = top;
+                    top = Some(i);
+                }
+            }
+        }
+        let (lo, hi) = match (top, second) {
+            (Some(a), Some(b)) => (a.min(b), a.max(b)),
+            _ => return None,
+        };
+        // Bucket `i` covers (2^(i-1), 2^i]; the overflow bucket starts at
+        // the last finite bound.
+        let fast_upper = Histogram::bucket_bound(lo);
+        let slow_lower = Histogram::bucket_bound(hi.min(HISTOGRAM_BUCKETS) - 1);
+        Some(Threshold {
+            cycles: ((fast_upper + slow_lower) / 2.0) as u64,
+        })
     }
 
     /// The decision boundary in cycles.
@@ -204,11 +248,62 @@ mod tests {
     }
 
     #[test]
+    fn from_histogram_splits_bimodal_latencies() {
+        let h = Histogram::default();
+        for _ in 0..100 {
+            h.observe(2); // L1-hit reloads
+        }
+        for _ in 0..60 {
+            h.observe(200); // DRAM reloads
+        }
+        let t = Threshold::from_histogram(&h).expect("two modes present");
+        assert!(t.is_hit(2));
+        assert!(t.is_hit(30));
+        assert!(!t.is_hit(200));
+    }
+
+    #[test]
+    fn from_histogram_needs_two_modes() {
+        let h = Histogram::default();
+        assert_eq!(Threshold::from_histogram(&h), None);
+        for _ in 0..10 {
+            h.observe(200);
+        }
+        assert_eq!(Threshold::from_histogram(&h), None);
+    }
+
+    #[test]
+    fn from_histogram_ignores_minor_noise_buckets() {
+        let h = Histogram::default();
+        for _ in 0..100 {
+            h.observe(2);
+        }
+        for _ in 0..60 {
+            h.observe(200);
+        }
+        h.observe(30); // one stray LLC-latency sample must not move the split
+        let t = Threshold::from_histogram(&h).unwrap();
+        assert!(t.is_hit(2) && !t.is_hit(200));
+    }
+
+    #[test]
     fn decode_reads_multiply_presence() {
         let rounds = [
-            RsaRound { square: true, multiply: true, reduce: true },
-            RsaRound { square: true, multiply: false, reduce: true },
-            RsaRound { square: false, multiply: false, reduce: false },
+            RsaRound {
+                square: true,
+                multiply: true,
+                reduce: true,
+            },
+            RsaRound {
+                square: true,
+                multiply: false,
+                reduce: true,
+            },
+            RsaRound {
+                square: false,
+                multiply: false,
+                reduce: false,
+            },
         ];
         let k = KeyRecovery::decode(&rounds);
         assert_eq!(k.bits, vec![Some(true), Some(false), None]);
@@ -227,10 +322,7 @@ mod tests {
 
     #[test]
     fn tail_bits_drop_msb() {
-        assert_eq!(
-            exponent_tail_bits(&[true, false, true]),
-            vec![false, true]
-        );
+        assert_eq!(exponent_tail_bits(&[true, false, true]), vec![false, true]);
     }
 
     #[test]
@@ -258,8 +350,8 @@ mod tests {
     #[test]
     fn mi_of_constant_observation_is_zero() {
         let secret: Vec<bool> = (0..32).map(|i| i % 2 == 0).collect();
-        assert_eq!(mutual_information_bits(&secret, &vec![false; 32]), 0.0);
-        assert_eq!(mutual_information_bits(&secret, &vec![true; 32]), 0.0);
+        assert_eq!(mutual_information_bits(&secret, &[false; 32]), 0.0);
+        assert_eq!(mutual_information_bits(&secret, &[true; 32]), 0.0);
     }
 
     #[test]

@@ -90,8 +90,15 @@ impl Program for CoherenceAttacker {
                 Op::Yield { pc: self.pc }
             }
             Phase::Wait(i) => {
-                self.phase = if i > 1 { Phase::Wait(i - 1) } else { Phase::TimedLoad };
-                Op::Instr { pc: self.pc, data: None }
+                self.phase = if i > 1 {
+                    Phase::Wait(i - 1)
+                } else {
+                    Phase::TimedLoad
+                };
+                Op::Instr {
+                    pc: self.pc,
+                    data: None,
+                }
             }
             Phase::TimedLoad => Op::Instr {
                 pc: self.pc,

@@ -192,10 +192,13 @@ impl EvictReloadResult {
 /// under modulo indexing (LLC-period strides alias into the same L1 set
 /// too, so one stride evicts at every level).
 pub fn run_evict_reload(security: SecurityMode) -> EvictReloadResult {
-    let mut cfg = SystemConfig::default();
-    cfg.hierarchy = HierarchyConfig::with_cores(1);
-    cfg.hierarchy.security = security;
-    cfg.quantum_cycles = 200_000;
+    let mut hierarchy = HierarchyConfig::with_cores(1);
+    hierarchy.security = security;
+    let cfg = SystemConfig {
+        hierarchy,
+        quantum_cycles: 200_000,
+        ..SystemConfig::default()
+    };
     let mut sys = System::new(cfg).expect("valid config");
 
     let lat = sys.config().hierarchy.latencies;
@@ -210,12 +213,8 @@ pub fn run_evict_reload(security: SecurityMode) -> EvictReloadResult {
         .collect();
 
     let rounds = 40;
-    let (attacker, log) = EvictReloadAttacker::new(
-        target,
-        eviction_set,
-        Threshold::cross_core(&lat),
-        rounds,
-    );
+    let (attacker, log) =
+        EvictReloadAttacker::new(target, eviction_set, Threshold::cross_core(&lat), rounds);
     sys.spawn(Box::new(attacker), 0, 0, None);
     sys.spawn(
         Box::new(ToggleVictim {
@@ -260,7 +259,12 @@ pub fn demo() -> Vec<AttackOutcome> {
     };
     vec![
         AttackOutcome::new("evict+reload", "baseline", baseline.leaks(), fmt(&baseline)),
-        AttackOutcome::new("evict+reload", "timecache", defended.leaks(), fmt(&defended)),
+        AttackOutcome::new(
+            "evict+reload",
+            "timecache",
+            defended.leaks(),
+            fmt(&defended),
+        ),
     ]
 }
 

@@ -80,10 +80,13 @@ fn victim_cycles(security: SecurityMode, flusher: bool, target: Addr) -> u64 {
     // A fine-grained quantum so the flusher interleaves with the victim
     // many times (a coarse quantum would let the victim finish within one
     // slice and see at most one flush).
-    let mut cfg = SystemConfig::default();
-    cfg.hierarchy = HierarchyConfig::with_cores(1);
-    cfg.hierarchy.security = security;
-    cfg.quantum_cycles = 2_000;
+    let mut hierarchy = HierarchyConfig::with_cores(1);
+    hierarchy.security = security;
+    let cfg = SystemConfig {
+        hierarchy,
+        quantum_cycles: 2_000,
+        ..SystemConfig::default()
+    };
     let mut sys = System::new(cfg).expect("valid config");
     if flusher {
         sys.spawn(Box::new(Flusher { target, phase: 0 }), 0, 0, Some(100_000));

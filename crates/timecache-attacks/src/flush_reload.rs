@@ -12,6 +12,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 use timecache_os::{DataKind, Observation, Op, Program};
 use timecache_sim::Addr;
+use timecache_telemetry::{Histogram, Telemetry, TraceEvent};
 
 /// One probe measurement.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,6 +57,8 @@ pub struct FlushReloadAttacker {
     phase: Phase,
     log: ProbeLog,
     pc: Addr,
+    tel: Telemetry,
+    latency_hist: Option<Histogram>,
 }
 
 impl FlushReloadAttacker {
@@ -77,9 +80,27 @@ impl FlushReloadAttacker {
                 phase: Phase::Flush(0),
                 log: Rc::clone(&log),
                 pc: 0x6660_0000,
+                tel: Telemetry::disabled(),
+                latency_hist: None,
             },
             log,
         )
+    }
+
+    /// Routes every probe into `tel`: reload latencies feed the
+    /// `attack_probe_latency_cycles{attack="flush_reload"}` histogram (the
+    /// input to [`Threshold::from_histogram`] calibration) and each probe
+    /// emits a [`TraceEvent::Probe`]. No-op when `tel` is disabled.
+    pub fn with_telemetry(mut self, tel: &Telemetry) -> Self {
+        self.latency_hist = tel.registry().map(|reg| {
+            reg.histogram(
+                "attack_probe_latency_cycles",
+                "Reload/probe latencies measured by attackers.",
+                &[("attack", "flush_reload")],
+            )
+        });
+        self.tel = tel.clone();
+        self
     }
 
     fn next_pc(&mut self) -> Addr {
@@ -121,12 +142,24 @@ impl Program for FlushReloadAttacker {
     fn observe(&mut self, obs: Observation) {
         if let Phase::Probe(i) = self.phase {
             if let Some(latency) = obs.data_latency {
+                let hit = self.threshold.is_hit(latency);
                 self.log.borrow_mut().push(Probe {
                     round: self.round,
                     addr: self.targets[i],
                     latency,
-                    hit: self.threshold.is_hit(latency),
+                    hit,
                 });
+                if let Some(h) = &self.latency_hist {
+                    h.observe(latency);
+                    self.tel.emit_at(
+                        obs.now,
+                        TraceEvent::Probe {
+                            attack: "flush_reload",
+                            latency,
+                            hit,
+                        },
+                    );
+                }
                 self.phase = if i + 1 < self.targets.len() {
                     Phase::Probe(i + 1)
                 } else {
@@ -191,12 +224,18 @@ mod tests {
         assert!(matches!(a.next_op(), Op::Yield { .. }));
         assert!(matches!(
             a.next_op(),
-            Op::Instr { data: Some((DataKind::Load, 0x1000)), .. }
+            Op::Instr {
+                data: Some((DataKind::Load, 0x1000)),
+                ..
+            }
         ));
         // Until the latency is observed the attacker stays on the probe.
         assert!(matches!(
             a.next_op(),
-            Op::Instr { data: Some((DataKind::Load, 0x1000)), .. }
+            Op::Instr {
+                data: Some((DataKind::Load, 0x1000)),
+                ..
+            }
         ));
         a.observe(Observation {
             instr_index: 0,
@@ -206,7 +245,10 @@ mod tests {
         });
         assert!(matches!(
             a.next_op(),
-            Op::Instr { data: Some((DataKind::Load, 0x2000)), .. }
+            Op::Instr {
+                data: Some((DataKind::Load, 0x2000)),
+                ..
+            }
         ));
     }
 

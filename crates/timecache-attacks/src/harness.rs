@@ -7,6 +7,7 @@ use timecache_core::TimeCacheConfig;
 use timecache_os::programs::SharedWriter;
 use timecache_os::{System, SystemConfig};
 use timecache_sim::{HierarchyConfig, SecurityMode};
+use timecache_telemetry::Telemetry;
 use timecache_workloads::layout;
 
 /// Outcome of one attack demonstration, ready for reporting.
@@ -44,29 +45,38 @@ impl AttackOutcome {
 /// The quantum is deliberately small (the attacker self-preempts with
 /// `Yield` anyway) and the hierarchy is the paper's Table I setup.
 pub fn single_core_system(security: SecurityMode) -> System {
-    let mut cfg = SystemConfig::default();
-    cfg.hierarchy = HierarchyConfig::with_cores(1);
-    cfg.hierarchy.security = security;
-    cfg.quantum_cycles = 200_000;
+    let mut hierarchy = HierarchyConfig::with_cores(1);
+    hierarchy.security = security;
+    let cfg = SystemConfig {
+        hierarchy,
+        quantum_cycles: 200_000,
+        ..SystemConfig::default()
+    };
     System::new(cfg).expect("table-I config is valid")
 }
 
 /// A two-core system for cross-core attacks.
 pub fn dual_core_system(security: SecurityMode) -> System {
-    let mut cfg = SystemConfig::default();
-    cfg.hierarchy = HierarchyConfig::with_cores(2);
-    cfg.hierarchy.security = security;
-    cfg.quantum_cycles = 200_000;
+    let mut hierarchy = HierarchyConfig::with_cores(2);
+    hierarchy.security = security;
+    let cfg = SystemConfig {
+        hierarchy,
+        quantum_cycles: 200_000,
+        ..SystemConfig::default()
+    };
     System::new(cfg).expect("table-I config is valid")
 }
 
 /// An SMT system: one core, two hardware threads.
 pub fn smt_system(security: SecurityMode) -> System {
-    let mut cfg = SystemConfig::default();
-    cfg.hierarchy = HierarchyConfig::with_cores(1);
-    cfg.hierarchy.smt_per_core = 2;
-    cfg.hierarchy.security = security;
-    cfg.quantum_cycles = 200_000;
+    let mut hierarchy = HierarchyConfig::with_cores(1);
+    hierarchy.smt_per_core = 2;
+    hierarchy.security = security;
+    let cfg = SystemConfig {
+        hierarchy,
+        quantum_cycles: 200_000,
+        ..SystemConfig::default()
+    };
     System::new(cfg).expect("table-I config is valid")
 }
 
@@ -82,15 +92,36 @@ pub fn timecache_mode() -> SecurityMode {
 /// In the baseline every probed line the victim wrote reloads fast; with
 /// TimeCache the attacker "does not see any hit".
 pub fn run_microbenchmark(security: SecurityMode, rounds: u32) -> MicrobenchResult {
-    let mut sys = single_core_system(security);
+    run_microbenchmark_with_telemetry(security, rounds, &Telemetry::disabled())
+}
+
+/// [`run_microbenchmark`] with observability: the system streams cache and
+/// scheduler telemetry into `tel`, and the attacker feeds its reload
+/// latencies into the `attack_probe_latency_cycles` histogram (from which
+/// [`Threshold::from_histogram`] can re-derive the decision boundary) and
+/// emits a probe event per timed load.
+pub fn run_microbenchmark_with_telemetry(
+    security: SecurityMode,
+    rounds: u32,
+    tel: &Telemetry,
+) -> MicrobenchResult {
+    let mut hierarchy = HierarchyConfig::with_cores(1);
+    hierarchy.security = security;
+    let cfg = SystemConfig {
+        hierarchy,
+        quantum_cycles: 200_000,
+        telemetry: tel.clone(),
+        ..SystemConfig::default()
+    };
+    let mut sys = System::new(cfg).expect("table-I config is valid");
     let lat = sys.config().hierarchy.latencies;
     let lines = 256u64;
     let targets: Vec<u64> = (0..lines)
         .map(|i| layout::SHARED_SEGMENT + i * layout::LINE)
         .collect();
 
-    let (attacker, log) =
-        FlushReloadAttacker::new(targets, Threshold::calibrate(&lat), rounds);
+    let (attacker, log) = FlushReloadAttacker::new(targets, Threshold::calibrate(&lat), rounds);
+    let attacker = attacker.with_telemetry(tel);
     // Attacker first so its initial flush precedes the victim's writes.
     sys.spawn(Box::new(attacker), 0, 0, None);
     // The victim writes the shared array over and over, yielding between
@@ -98,7 +129,11 @@ pub fn run_microbenchmark(security: SecurityMode, rounds: u32) -> MicrobenchResu
     // every attack round by a wide margin, then the run winds down.
     let victim_budget = (rounds as u64 + 16) * 4 * (lines + 1);
     sys.spawn(
-        Box::new(SharedWriter::new(layout::SHARED_SEGMENT, lines, layout::LINE)),
+        Box::new(SharedWriter::new(
+            layout::SHARED_SEGMENT,
+            lines,
+            layout::LINE,
+        )),
         0,
         0,
         Some(victim_budget),
@@ -132,6 +167,42 @@ mod tests {
         assert_eq!(r.rounds, 3);
         assert_eq!(r.hits, 0, "attacker must not see any hit");
         assert_eq!(r.probes, 3 * 256);
+    }
+
+    #[test]
+    fn telemetry_captures_probe_latencies() {
+        use timecache_telemetry::TraceEvent;
+
+        let tel = Telemetry::enabled();
+        let r = run_microbenchmark_with_telemetry(SecurityMode::Baseline, 2, &tel);
+        let hist = tel.registry().unwrap().histogram(
+            "attack_probe_latency_cycles",
+            "Reload/probe latencies measured by attackers.",
+            &[("attack", "flush_reload")],
+        );
+        assert_eq!(hist.count(), r.probes);
+        let probe_events = tel
+            .tracer()
+            .unwrap()
+            .records()
+            .iter()
+            .filter(|e| matches!(e.event, TraceEvent::Probe { .. }))
+            .count() as u64;
+        assert_eq!(probe_events, r.probes);
+
+        // The baseline microbenchmark is all-hits (that's the leak), so its
+        // own histogram has a single mode and no derivable boundary.
+        assert_eq!(Threshold::from_histogram(&hist), None);
+
+        // Feeding a TimeCache run (all miss-latency probes) into the *same*
+        // handle makes the distribution bimodal — the known-cached /
+        // known-flushed calibration a real attacker performs — and the
+        // recovered boundary separates the latency model's extremes.
+        run_microbenchmark_with_telemetry(timecache_mode(), 2, &tel);
+        let t = Threshold::from_histogram(&hist).expect("two modes present");
+        let lat = timecache_sim::LatencyConfig::default();
+        assert!(t.is_hit(lat.l1_hit));
+        assert!(!t.is_hit(lat.dram));
     }
 
     #[test]

@@ -129,10 +129,8 @@ impl Program for LruAttacker {
 
     fn observe(&mut self, obs: Observation) {
         match self.phase {
-            Phase::Evictor => {
-                if obs.data_latency.is_some() {
-                    self.phase = Phase::Reload;
-                }
+            Phase::Evictor if obs.data_latency.is_some() => {
+                self.phase = Phase::Reload;
             }
             Phase::Reload => {
                 if let Some(latency) = obs.data_latency {
@@ -223,11 +221,14 @@ impl LruResult {
 /// The eviction set is built for *modulo* L1 indexing; passing a keyed
 /// `l1_index` models a randomized cache, which breaks the set construction.
 pub fn run_lru_attack(security: SecurityMode, l1_index: IndexFn) -> LruResult {
-    let mut cfg = SystemConfig::default();
-    cfg.hierarchy = HierarchyConfig::with_cores(1);
-    cfg.hierarchy.security = security;
-    cfg.hierarchy.l1d.index = l1_index;
-    cfg.quantum_cycles = 200_000;
+    let mut hierarchy = HierarchyConfig::with_cores(1);
+    hierarchy.security = security;
+    hierarchy.l1d.index = l1_index;
+    let cfg = SystemConfig {
+        hierarchy,
+        quantum_cycles: 200_000,
+        ..SystemConfig::default()
+    };
     let mut sys = System::new(cfg).expect("valid config");
 
     let lat = sys.config().hierarchy.latencies;
@@ -243,13 +244,8 @@ pub fn run_lru_attack(security: SecurityMode, l1_index: IndexFn) -> LruResult {
     // The eviction set operates on the L1D (filler stride = one L1 set
     // period), so the timing signal is L1-hit vs LLC-hit: calibrate the
     // threshold between those levels.
-    let (attacker, log) = LruAttacker::new(
-        target,
-        fillers,
-        evictor,
-        Threshold::calibrate(&lat),
-        rounds,
-    );
+    let (attacker, log) =
+        LruAttacker::new(target, fillers, evictor, Threshold::calibrate(&lat), rounds);
     sys.spawn(Box::new(attacker), 0, 0, None);
     sys.spawn(
         Box::new(LruVictim {

@@ -202,11 +202,14 @@ impl PrimeProbeResult {
 /// Runs prime+probe on a single-core system with the given security mode
 /// and LLC index function.
 pub fn run_prime_probe(security: SecurityMode, llc_index: IndexFn) -> PrimeProbeResult {
-    let mut cfg = SystemConfig::default();
-    cfg.hierarchy = HierarchyConfig::with_cores(1);
-    cfg.hierarchy.security = security;
-    cfg.hierarchy.llc.index = llc_index;
-    cfg.quantum_cycles = 200_000;
+    let mut hierarchy = HierarchyConfig::with_cores(1);
+    hierarchy.security = security;
+    hierarchy.llc.index = llc_index;
+    let cfg = SystemConfig {
+        hierarchy,
+        quantum_cycles: 200_000,
+        ..SystemConfig::default()
+    };
     let mut sys = System::new(cfg).expect("valid config");
 
     let lat = sys.config().hierarchy.latencies;

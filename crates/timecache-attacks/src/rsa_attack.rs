@@ -59,13 +59,17 @@ impl RsaProber {
             layout.probe_addr(PrimitiveOp::Multiply),
             layout.probe_addr(PrimitiveOp::Reduce),
         ];
-        let flush_targets = [PrimitiveOp::Square, PrimitiveOp::Multiply, PrimitiveOp::Reduce]
-            .into_iter()
-            .flat_map(|op| {
-                let base = layout.base_of(op);
-                (0..layout.lines_per_fn).map(move |i| base + i * 64)
-            })
-            .collect();
+        let flush_targets = [
+            PrimitiveOp::Square,
+            PrimitiveOp::Multiply,
+            PrimitiveOp::Reduce,
+        ]
+        .into_iter()
+        .flat_map(|op| {
+            let base = layout.base_of(op);
+            (0..layout.lines_per_fn).map(move |i| base + i * 64)
+        })
+        .collect();
         let log: RoundLog = Rc::new(RefCell::new(Vec::new()));
         (
             RsaProber {

@@ -164,7 +164,7 @@ impl Program for SpectreReceiver {
         if let Phase::Probe(i) = self.phase {
             if let Some(latency) = obs.data_latency {
                 if self.threshold.is_hit(latency)
-                    && self.best.map_or(true, |(_, best)| latency < best)
+                    && self.best.is_none_or(|(_, best)| latency < best)
                 {
                     self.best = Some((i as u8, latency));
                 }
@@ -233,8 +233,7 @@ pub fn run_spectre(security: SecurityMode, secret: &[u8]) -> SpectreResult {
     let mut sys = single_core_system(security);
     let lat = sys.config().hierarchy.latencies;
 
-    let (receiver, log) =
-        SpectreReceiver::new(Threshold::cross_core(&lat), secret.len() as u32);
+    let (receiver, log) = SpectreReceiver::new(Threshold::cross_core(&lat), secret.len() as u32);
     sys.spawn(Box::new(receiver), 0, 0, None);
     sys.spawn(
         Box::new(SpectreVictim {
@@ -270,7 +269,10 @@ pub fn demo() -> Vec<AttackOutcome> {
                 None => '_',
             })
             .collect();
-        format!("recovered \"{text}\" ({:.0}% of bytes)", r.accuracy() * 100.0)
+        format!(
+            "recovered \"{text}\" ({:.0}% of bytes)",
+            r.accuracy() * 100.0
+        )
     };
     vec![
         AttackOutcome::new("spectre-v1", "baseline", baseline.leaks(), fmt(&baseline)),

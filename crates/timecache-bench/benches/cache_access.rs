@@ -1,11 +1,11 @@
-//! Criterion bench: hierarchy access throughput, baseline vs TimeCache.
+//! Micro-bench: hierarchy access throughput, baseline vs TimeCache.
 //!
 //! The defense's common-case cost is one extra bit checked in parallel
 //! with the tag; the simulator should likewise show near-identical
 //! per-access cost with the mechanism engaged.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use timecache_bench::microbench::Bencher;
 use timecache_core::TimeCacheConfig;
 use timecache_sim::{AccessKind, Hierarchy, HierarchyConfig, SecurityMode};
 
@@ -15,40 +15,39 @@ fn hierarchy(security: SecurityMode) -> Hierarchy {
     Hierarchy::new(cfg).expect("valid")
 }
 
-fn access_throughput(c: &mut Criterion) {
-    let mut group = c.benchmark_group("hierarchy-access");
+fn main() {
+    let mut b = Bencher::new();
     for (name, security) in [
         ("baseline", SecurityMode::Baseline),
-        ("timecache", SecurityMode::TimeCache(TimeCacheConfig::default())),
+        (
+            "timecache",
+            SecurityMode::TimeCache(TimeCacheConfig::default()),
+        ),
     ] {
         // Hot-loop hits over a 16 KiB working set (all L1-resident).
-        group.bench_with_input(BenchmarkId::new("l1-hit", name), &security, |b, &s| {
-            let mut h = hierarchy(s);
+        {
+            let mut h = hierarchy(security);
             for i in 0..256u64 {
                 h.access(0, 0, AccessKind::Load, i * 64, i);
             }
             let mut now = 1_000u64;
             let mut i = 0u64;
-            b.iter(|| {
+            b.bench(&format!("hierarchy-access/l1-hit/{name}"), || {
                 now += 1;
                 i = (i + 1) % 256;
                 black_box(h.access(0, 0, AccessKind::Load, i * 64, now))
-            })
-        });
+            });
+        }
         // Streaming misses through a 64 MiB region.
-        group.bench_with_input(BenchmarkId::new("dram-miss", name), &security, |b, &s| {
-            let mut h = hierarchy(s);
+        {
+            let mut h = hierarchy(security);
             let mut now = 0u64;
             let mut addr = 0u64;
-            b.iter(|| {
+            b.bench(&format!("hierarchy-access/dram-miss/{name}"), || {
                 now += 1;
                 addr = (addr + 64) % (64 << 20);
                 black_box(h.access(0, 0, AccessKind::Load, 0x4000_0000 + addr, now))
-            })
-        });
+            });
+        }
     }
-    group.finish();
 }
-
-criterion_group!(benches, access_throughput);
-criterion_main!(benches);

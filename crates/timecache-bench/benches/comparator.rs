@@ -1,4 +1,4 @@
-//! Criterion bench: the bit-serial, timestamp-parallel comparator against
+//! Micro-bench: the bit-serial, timestamp-parallel comparator against
 //! a naive line-serial software comparison, across cache sizes.
 //!
 //! The hardware argument of Section V-C is that comparison cost must not
@@ -6,13 +6,13 @@
 //! bit-serial sweep is also computationally cheap (it touches 64 lines per
 //! word operation), while the naive model walks every line.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use timecache_bench::microbench::Bencher;
 use timecache_core::{BitSerialComparator, TimestampWidth, TransposeArray, WrappingTime};
 
-fn comparator(c: &mut Criterion) {
+fn main() {
     let width = TimestampWidth::new(32);
-    let mut group = c.benchmark_group("comparator");
+    let mut b = Bencher::new();
     for lines in [512usize, 32_768, 131_072] {
         let mut arr = TransposeArray::new(lines, width);
         for i in 0..lines {
@@ -20,23 +20,17 @@ fn comparator(c: &mut Criterion) {
         }
         let ts = WrappingTime::from_cycle(1_000_000, width);
 
-        group.bench_with_input(BenchmarkId::new("bit-serial", lines), &lines, |b, _| {
-            b.iter(|| black_box(BitSerialComparator::compare(&arr, ts)))
+        b.bench(&format!("comparator/bit-serial/{lines}"), || {
+            black_box(BitSerialComparator::compare(&arr, ts))
         });
-        group.bench_with_input(BenchmarkId::new("line-serial", lines), &lines, |b, _| {
-            b.iter(|| {
-                let mut resets = 0u64;
-                for i in 0..lines {
-                    if arr.read_word(i) > ts.value() {
-                        resets += 1;
-                    }
+        b.bench(&format!("comparator/line-serial/{lines}"), || {
+            let mut resets = 0u64;
+            for i in 0..lines {
+                if arr.read_word(i) > ts.value() {
+                    resets += 1;
                 }
-                black_box(resets)
-            })
+            }
+            black_box(resets)
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, comparator);
-criterion_main!(benches);

@@ -1,16 +1,15 @@
-//! Criterion bench: context-switch save/restore cost across LLC sizes —
+//! Micro-bench: context-switch save/restore cost across LLC sizes —
 //! the Section VI-D bookkeeping path (snapshot copy + comparator sweep).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use timecache_bench::microbench::Bencher;
 use timecache_core::TimeCacheConfig;
 use timecache_sim::{AccessKind, Hierarchy, HierarchyConfig, SecurityMode};
 
-fn switch_cost(c: &mut Criterion) {
-    let mut group = c.benchmark_group("context-switch");
+fn main() {
+    let mut b = Bencher::new();
     for llc_mb in [2u64, 4, 8] {
-        let mut cfg =
-            HierarchyConfig::with_cores(1).with_llc_bytes(llc_mb * 1024 * 1024);
+        let mut cfg = HierarchyConfig::with_cores(1).with_llc_bytes(llc_mb * 1024 * 1024);
         cfg.security = SecurityMode::TimeCache(TimeCacheConfig::default());
         let mut h = Hierarchy::new(cfg).expect("valid");
         // Populate some state so snapshots are non-trivial.
@@ -19,19 +18,13 @@ fn switch_cost(c: &mut Criterion) {
         }
         let snap = h.save_context(0, 0, 5_000);
 
-        group.bench_with_input(BenchmarkId::new("save", llc_mb), &llc_mb, |b, _| {
-            b.iter(|| black_box(h.save_context(0, 0, 10_000)))
+        b.bench(&format!("context-switch/save/{llc_mb}MiB"), || {
+            black_box(h.save_context(0, 0, 10_000))
         });
-        group.bench_with_input(BenchmarkId::new("restore", llc_mb), &llc_mb, |b, _| {
-            let mut now = 10_000u64;
-            b.iter(|| {
-                now += 1;
-                black_box(h.restore_context(0, 0, Some(&snap), now))
-            })
+        let mut now = 10_000u64;
+        b.bench(&format!("context-switch/restore/{llc_mb}MiB"), || {
+            now += 1;
+            black_box(h.restore_context(0, 0, Some(&snap), now))
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, switch_cost);
-criterion_main!(benches);

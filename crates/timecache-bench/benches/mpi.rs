@@ -1,8 +1,8 @@
-//! Criterion bench: the MPI (bignum) substrate driving the RSA victim —
+//! Micro-bench: the MPI (bignum) substrate driving the RSA victim —
 //! square, multiply, reduce, and a full modular exponentiation.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use timecache_bench::microbench::Bencher;
 use timecache_workloads::rsa::{ModExp, Mpi};
 
 fn operand(limbs: usize, seed: u64) -> Mpi {
@@ -17,25 +17,19 @@ fn operand(limbs: usize, seed: u64) -> Mpi {
     Mpi::from_limbs(v)
 }
 
-fn mpi_ops(c: &mut Criterion) {
+fn main() {
     // 512-bit operands: 16 limbs.
     let a = operand(16, 0xA5A5);
     let m = operand(16, 0x5A5A);
     let wide = a.mul(&a);
 
-    c.bench_function("mpi/square-512b", |b| b.iter(|| black_box(a.square())));
-    c.bench_function("mpi/mul-512b", |b| b.iter(|| black_box(a.mul(&m))));
-    c.bench_function("mpi/reduce-1024b-by-512b", |b| {
-        b.iter(|| black_box(wide.rem(&m)))
-    });
-    c.bench_function("mpi/modexp-64b-exponent", |b| {
-        b.iter(|| {
-            let mut me = ModExp::new(a.clone(), Mpi::from_u64(0xC3A5_96E7), m.clone());
-            while me.step().is_some() {}
-            black_box(me.result().clone())
-        })
+    let mut b = Bencher::new();
+    b.bench("mpi/square-512b", || black_box(a.square()));
+    b.bench("mpi/mul-512b", || black_box(a.mul(&m)));
+    b.bench("mpi/reduce-1024b-by-512b", || black_box(wide.rem(&m)));
+    b.bench("mpi/modexp-64b-exponent", || {
+        let mut me = ModExp::new(a.clone(), Mpi::from_u64(0xC3A5_96E7), m.clone());
+        while me.step().is_some() {}
+        black_box(me.result().clone())
     });
 }
-
-criterion_group!(benches, mpi_ops);
-criterion_main!(benches);

@@ -2,20 +2,26 @@
 //! evaluation.
 //!
 //! ```text
-//! experiments [--quick] <all|table1|table2|fig7|fig8|fig9|fig10|security|
-//!                        rollover|switchcost|other-attacks|ablation>
+//! experiments [--quick] [--telemetry] <all|table1|table2|fig7|fig8|fig9|
+//!                        fig10|security|rollover|switchcost|other-attacks|
+//!                        ftm|area|ablation|telemetry-demo>
 //! ```
 //!
 //! `--quick` shrinks the instruction budgets (useful for smoke-testing the
-//! harness; reported numbers will be noisier).
+//! harness; reported numbers will be noisier). `--telemetry` records
+//! metrics, events, and phase profiles for every system the experiment
+//! builds, and writes `<id>_metrics.prom` / `<id>_metrics.json` /
+//! `<id>_events.jsonl` / `<id>_profile.json` / `<id>_manifest.json` under
+//! `results/` next to the experiment's CSV.
 
-use timecache_bench::exp;
 use timecache_bench::runner::RunParams;
+use timecache_bench::{exp, telemetry};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments [--quick] <all|table1|table2|fig7|fig8|fig9|fig10|\
-         security|rollover|switchcost|other-attacks|ftm|area|ablation>"
+        "usage: experiments [--quick] [--telemetry] <all|table1|table2|fig7|fig8|\
+         fig9|fig10|security|rollover|switchcost|other-attacks|ftm|area|ablation|\
+         telemetry-demo>"
     );
     std::process::exit(2);
 }
@@ -23,13 +29,17 @@ fn usage() -> ! {
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    args.retain(|a| a != "--quick");
+    let with_telemetry = args.iter().any(|a| a == "--telemetry");
+    args.retain(|a| a != "--quick" && a != "--telemetry");
     let which = args.first().map(String::as_str).unwrap_or_else(|| usage());
     let params = if quick {
         RunParams::quick()
     } else {
         RunParams::default()
     };
+    if with_telemetry {
+        telemetry::enable();
+    }
 
     match which {
         "table1" => exp::table1::run(),
@@ -59,6 +69,7 @@ fn main() {
         "ftm" => exp::ftm::run(&params),
         "area" => exp::area::run(),
         "ablation" => exp::ablation::run(&params),
+        "telemetry-demo" => exp::telemetry_demo::run(&params),
         "all" => {
             exp::table1::run();
             eprintln!("running SPEC sweep (24 pairs, 2 modes)...");
@@ -79,5 +90,17 @@ fn main() {
             exp::ablation::run(&params);
         }
         _ => usage(),
+    }
+
+    if with_telemetry {
+        let id = which.replace('-', "_");
+        match telemetry::write_artifacts(&id) {
+            Ok(paths) => {
+                for path in &paths {
+                    println!("wrote {}", path.display());
+                }
+            }
+            Err(e) => eprintln!("failed to write telemetry artifacts: {e}"),
+        }
     }
 }

@@ -53,7 +53,7 @@ pub fn run(params: &RunParams) {
         &header,
         &rows,
     );
-    let path = write_csv("ablation_save_restore.csv", &header, &rows);
+    let path = write_csv("ablation_save_restore.csv", &header, &rows).expect("write csv");
     println!("wrote {}", path.display());
 
     // --- Ablation 2: comparator organisation. ---
@@ -80,7 +80,7 @@ pub fn run(params: &RunParams) {
         &header,
         &rows,
     );
-    let path = write_csv("ablation_comparator.csv", &header, &rows);
+    let path = write_csv("ablation_comparator.csv", &header, &rows).expect("write csv");
     println!("wrote {}", path.display());
     let _ = Comparison::overhead; // referenced for doc-link stability
 }

@@ -41,7 +41,7 @@ pub fn run() {
     );
     println!("the full map grows linearly with hardware contexts; limited pointers");
     println!("(Agarwal et al.) keep it O(k log n) — the paper's scaling suggestion.");
-    let path = write_csv("vi_c_area.csv", &header, &rows);
+    let path = write_csv("vi_c_area.csv", &header, &rows).expect("write csv");
     println!("wrote {}", path.display());
 }
 

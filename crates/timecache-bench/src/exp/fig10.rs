@@ -41,6 +41,6 @@ pub fn run(params: &RunParams) {
     } else {
         println!("trend: WARNING — overhead did not shrink monotonically");
     }
-    let path = write_csv("fig10_llc_sensitivity.csv", &header, &rows);
+    let path = write_csv("fig10_llc_sensitivity.csv", &header, &rows).expect("write csv");
     println!("wrote {}", path.display());
 }

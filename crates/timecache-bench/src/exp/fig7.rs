@@ -32,6 +32,6 @@ pub fn run(sweep: &[Comparison]) {
         (geomean(&overheads) - 1.0) * 100.0,
         (mixes::PAPER_SPEC_GEOMEAN_OVERHEAD - 1.0) * 100.0
     );
-    let path = write_csv("fig7_normalized_time.csv", &header, &rows);
+    let path = write_csv("fig7_normalized_time.csv", &header, &rows).expect("write csv");
     println!("wrote {}", path.display());
 }

@@ -39,6 +39,6 @@ pub fn run(sweep: &[Comparison]) {
         "LLC first-access MPKI >= half of L1D's in {llc_dominates}/{} workloads",
         sweep.len()
     );
-    let path = write_csv("fig8_first_access_mpki.csv", &header, &rows);
+    let path = write_csv("fig8_first_access_mpki.csv", &header, &rows).expect("write csv");
     println!("wrote {}", path.display());
 }

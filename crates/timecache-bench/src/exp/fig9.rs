@@ -33,14 +33,19 @@ pub fn run(sweep: &[Comparison]) {
             ]
         })
         .collect();
-    print_table("Fig. 9a: PARSEC normalized execution time (2 threads, 2 cores)", &header_a, &rows_a);
+    print_table(
+        "Fig. 9a: PARSEC normalized execution time (2 threads, 2 cores)",
+        &header_a,
+        &rows_a,
+    );
     let overheads: Vec<f64> = sweep.iter().map(Comparison::overhead).collect();
     println!(
         "mean overhead: measured {:.2}%  paper {:.2}%",
         (geomean(&overheads) - 1.0) * 100.0,
         (mixes::PAPER_PARSEC_MEAN_OVERHEAD - 1.0) * 100.0
     );
-    let path = write_csv("fig9a_parsec_normalized_time.csv", &header_a, &rows_a);
+    let path =
+        write_csv("fig9a_parsec_normalized_time.csv", &header_a, &rows_a).expect("write csv");
     println!("wrote {}", path.display());
 
     // Fig. 9b: per-cache delayed-access MPKI; L1s must be zero because the
@@ -57,7 +62,12 @@ pub fn run(sweep: &[Comparison]) {
             ]
         })
         .collect();
-    print_table("Fig. 9b: PARSEC delayed-access MPKI per cache", &header_b, &rows_b);
-    let path = write_csv("fig9b_parsec_first_access_mpki.csv", &header_b, &rows_b);
+    print_table(
+        "Fig. 9b: PARSEC delayed-access MPKI per cache",
+        &header_b,
+        &rows_b,
+    );
+    let path =
+        write_csv("fig9b_parsec_first_access_mpki.csv", &header_b, &rows_b).expect("write csv");
     println!("wrote {}", path.display());
 }

@@ -49,7 +49,7 @@ pub fn run(params: &RunParams) {
         &header,
         &rows,
     );
-    let path = write_csv("viii_b2_ftm_security.csv", &header, &rows);
+    let path = write_csv("viii_b2_ftm_security.csv", &header, &rows).expect("write csv");
     println!("wrote {}", path.display());
 
     // --- Overhead comparison on a few representative pairs. ---
@@ -70,11 +70,7 @@ pub fn run(params: &RunParams) {
         let to = tc.cycles as f64 / base.cycles.max(1) as f64;
         f_ovh.push(fo);
         t_ovh.push(to);
-        rows.push(vec![
-            spec.label(),
-            format!("{fo:.4}"),
-            format!("{to:.4}"),
-        ]);
+        rows.push(vec![spec.label(), format!("{fo:.4}"), format!("{to:.4}")]);
     }
     rows.push(vec![
         "geomean".into(),
@@ -87,6 +83,6 @@ pub fn run(params: &RunParams) {
         &header,
         &rows,
     );
-    let path = write_csv("viii_b2_ftm_overhead.csv", &header, &rows);
+    let path = write_csv("viii_b2_ftm_overhead.csv", &header, &rows).expect("write csv");
     println!("wrote {}", path.display());
 }

@@ -5,15 +5,16 @@ pub mod ablation;
 pub mod area;
 pub mod fig10;
 pub mod fig7;
-pub mod ftm;
 pub mod fig8;
 pub mod fig9;
+pub mod ftm;
 pub mod other_attacks;
 pub mod rollover;
 pub mod security;
 pub mod switchcost;
 pub mod table1;
 pub mod table2;
+pub mod telemetry_demo;
 
 use crate::runner::{compare_spec_pair, Comparison, RunParams};
 use timecache_workloads::mixes;

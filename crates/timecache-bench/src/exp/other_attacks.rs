@@ -39,10 +39,14 @@ pub fn run() {
             o.detail.clone(),
         ]);
     }
-    print_table("Section VII: other attacks on shared software", &header, &rows);
+    print_table(
+        "Section VII: other attacks on shared software",
+        &header,
+        &rows,
+    );
     println!("paper's position: reuse channels close under TimeCache; LRU and");
     println!("contention channels need a randomizing cache (keyed index rows);");
     println!("flush+flush needs constant-time clflush; evict+time remains noisy.");
-    let path = write_csv("vii_other_attacks.csv", &header, &rows);
+    let path = write_csv("vii_other_attacks.csv", &header, &rows).expect("write csv");
     println!("wrote {}", path.display());
 }

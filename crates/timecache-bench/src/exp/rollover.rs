@@ -32,10 +32,7 @@ pub fn run(params: &RunParams) {
         };
         let cmp = compare_spec_pair(&spec, &p);
         // Security must hold at every width: rollover only adds misses.
-        let mb = run_microbenchmark(
-            SecurityMode::TimeCache(TimeCacheConfig::new(width)),
-            3,
-        );
+        let mb = run_microbenchmark(SecurityMode::TimeCache(TimeCacheConfig::new(width)), 3);
         rows.push(vec![
             format!("{width}"),
             format!("{:.4}", cmp.overhead()),
@@ -49,6 +46,6 @@ pub fn run(params: &RunParams) {
         &header,
         &rows,
     );
-    let path = write_csv("vi_c_rollover.csv", &header, &rows);
+    let path = write_csv("vi_c_rollover.csv", &header, &rows).expect("write csv");
     println!("wrote {}", path.display());
 }

@@ -2,7 +2,8 @@
 //! the RSA flush+reload key extraction (VI-A.2), under both modes.
 
 use crate::output::{print_table, write_csv};
-use timecache_attacks::harness::{run_microbenchmark, timecache_mode};
+use crate::telemetry;
+use timecache_attacks::harness::{run_microbenchmark_with_telemetry, timecache_mode};
 use timecache_attacks::rsa_attack::run_rsa_attack;
 use timecache_sim::SecurityMode;
 use timecache_workloads::rsa::Mpi;
@@ -17,13 +18,17 @@ pub fn run() {
         (SecurityMode::Baseline, "baseline"),
         (timecache_mode(), "timecache"),
     ] {
-        let r = run_microbenchmark(mode, 5);
+        let r = run_microbenchmark_with_telemetry(mode, 5, &telemetry::current());
         let leaked = r.hits > 0;
         rows.push(vec![
             "microbenchmark (VI-A.1)".into(),
             name.into(),
             format!("{}/{} probe hits", r.hits, r.probes),
-            if leaked { "LEAKS".into() } else { "defended".into() },
+            if leaked {
+                "LEAKS".into()
+            } else {
+                "defended".into()
+            },
         ]);
     }
 
@@ -43,14 +48,16 @@ pub fn run() {
                 r.decoded_windows,
                 r.total_windows
             ),
-            if r.decoded_windows > 0 { "LEAKS".into() } else { "defended".into() },
+            if r.decoded_windows > 0 {
+                "LEAKS".into()
+            } else {
+                "defended".into()
+            },
         ]);
     }
 
     print_table("Security evaluation (Section VI-A)", &header, &rows);
-    println!(
-        "expected: baseline rows LEAK (attack works), timecache rows are defended"
-    );
-    let path = write_csv("security_vi_a.csv", &header, &rows);
+    println!("expected: baseline rows LEAK (attack works), timecache rows are defended");
+    let path = write_csv("security_vi_a.csv", &header, &rows).expect("write csv");
     println!("wrote {}", path.display());
 }

@@ -18,7 +18,13 @@ pub fn run(params: &RunParams) {
     // how a single-channel DMA would scale; the paper itself charges a
     // constant 1.08 us (2160 cycles) per switch, which is the default
     // model used by the performance runs.
-    let header = ["cache", "lines", "s-bit bytes", "64B transfers", "per-line dma cycles (save+restore)"];
+    let header = [
+        "cache",
+        "lines",
+        "s-bit bytes",
+        "64B transfers",
+        "per-line dma cycles (save+restore)",
+    ];
     let per_line = 16u64; // ~1.08 us for the Table I hierarchy
     let mut rows = Vec::new();
     for (name, bytes) in [
@@ -39,8 +45,12 @@ pub fn run(params: &RunParams) {
             (2 * transfers * per_line).to_string(),
         ]);
     }
-    print_table("Section VI-D: s-bit snapshot transfer costs", &header, &rows);
-    let path = write_csv("vi_d_transfer_costs.csv", &header, &rows);
+    print_table(
+        "Section VI-D: s-bit snapshot transfer costs",
+        &header,
+        &rows,
+    );
+    let path = write_csv("vi_d_transfer_costs.csv", &header, &rows).expect("write csv");
     println!("wrote {}", path.display());
 
     // Measured bookkeeping share (paper: ~0.024 % of execution time).
@@ -56,7 +66,13 @@ pub fn run(params: &RunParams) {
     );
     let path = write_csv(
         "vi_d_bookkeeping.csv",
-        &["workload", "tc-switch-cycles", "total-cycles", "share-%", "paper-%"],
+        &[
+            "workload",
+            "tc-switch-cycles",
+            "total-cycles",
+            "share-%",
+            "paper-%",
+        ],
         &[vec![
             spec.label(),
             cmp.timecache.tc_switch_cycles.to_string(),
@@ -64,6 +80,7 @@ pub fn run(params: &RunParams) {
             format!("{:.4}", share * 100.0),
             "0.024".into(),
         ]],
-    );
+    )
+    .expect("write csv");
     println!("wrote {}", path.display());
 }

@@ -10,7 +10,10 @@ pub fn run() {
     let cfg = SystemConfig::default();
     let h = &cfg.hierarchy;
     let rows: Vec<Vec<String>> = vec![
-        vec!["core model".into(), "in-order, 1 cycle/instr + memory stalls (TimingSimpleCPU-like)".into()],
+        vec![
+            "core model".into(),
+            "in-order, 1 cycle/instr + memory stalls (TimingSimpleCPU-like)".into(),
+        ],
         vec!["cores".into(), h.cores.to_string()],
         vec!["smt per core".into(), h.smt_per_core.to_string()],
         vec!["L1I".into(), h.l1i.geometry.to_string()],
@@ -19,12 +22,22 @@ pub fn run() {
         vec!["L1 hit".into(), format!("{} cycles", h.latencies.l1_hit)],
         vec!["LLC hit".into(), format!("{} cycles", h.latencies.llc_hit)],
         vec!["DRAM".into(), format!("{} cycles", h.latencies.dram)],
-        vec!["remote L1".into(), format!("{} cycles", h.latencies.remote_l1)],
-        vec!["scheduler quantum".into(), format!("{} cycles (1 ms @ 2 GHz)", cfg.quantum_cycles)],
+        vec![
+            "remote L1".into(),
+            format!("{} cycles", h.latencies.remote_l1),
+        ],
+        vec![
+            "scheduler quantum".into(),
+            format!("{} cycles (1 ms @ 2 GHz)", cfg.quantum_cycles),
+        ],
         vec!["timestamp width".into(), "32 bits".into()],
     ];
-    print_table("Table I: evaluation setup (simulated system)", &["parameter", "value"], &rows);
-    let path = write_csv("table1_setup.csv", &["parameter", "value"], &rows);
+    print_table(
+        "Table I: evaluation setup (simulated system)",
+        &["parameter", "value"],
+        &rows,
+    );
+    let path = write_csv("table1_setup.csv", &["parameter", "value"], &rows).expect("write csv");
     println!("wrote {}", path.display());
 }
 

@@ -76,6 +76,6 @@ pub fn run(sweep: &[Comparison], parsec: &[Comparison]) {
         &header,
         &rows,
     );
-    let path = write_csv("table2_overhead_mpki.csv", &header, &rows);
+    let path = write_csv("table2_overhead_mpki.csv", &header, &rows).expect("write csv");
     println!("wrote {}", path.display());
 }

@@ -1,8 +1,8 @@
 //! # timecache-bench
 //!
 //! The experiment harness that regenerates every table and figure of the
-//! TimeCache paper's evaluation, plus Criterion micro-benchmarks for the
-//! mechanism itself.
+//! TimeCache paper's evaluation, plus dependency-free micro-benchmarks for
+//! the mechanism itself (see [`microbench`]).
 //!
 //! Run experiments via the `experiments` binary:
 //!
@@ -12,12 +12,17 @@
 //! ```
 //!
 //! Each experiment prints a paper-style table to stdout and writes a CSV
-//! under `results/`. See `DESIGN.md` for the experiment index and
-//! `EXPERIMENTS.md` for paper-vs-measured records.
+//! under `results/`. Passing `--telemetry` (or running the dedicated
+//! `telemetry-demo` experiment) additionally writes metrics, event-trace,
+//! profile, and manifest artifacts via [`telemetry`]. See `DESIGN.md` for
+//! the experiment index and `EXPERIMENTS.md` for paper-vs-measured
+//! records.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod exp;
+pub mod microbench;
 pub mod output;
 pub mod runner;
+pub mod telemetry;

@@ -1,0 +1,144 @@
+//! A tiny, dependency-free micro-benchmark harness (the workspace builds
+//! offline with no third-party crates, so Criterion is out; DESIGN.md §6).
+//!
+//! The harness measures wall-clock time per iteration with warmup, adaptive
+//! batch sizing, and a median-of-samples estimate, and prints one
+//! fixed-format line per benchmark:
+//!
+//! ```text
+//! bench comparator/bit-serial/512   median 1.234 us/iter  (31 samples)
+//! ```
+//!
+//! The `benches/*.rs` targets (with `harness = false`) build their own
+//! `main` from [`Bencher::bench`] calls. These are throughput indicators,
+//! not statistical instruments — for rigorous comparisons run them pinned
+//! and repeated.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Target measurement time per benchmark.
+const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(20);
+/// Number of timed samples per benchmark.
+const SAMPLES: usize = 31;
+/// Warmup time before calibration.
+const WARMUP_TIME: Duration = Duration::from_millis(50);
+
+/// One measured benchmark result.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// The benchmark's full name (`group/name` by convention).
+    pub name: String,
+    /// Median nanoseconds per iteration across samples.
+    pub median_ns: f64,
+    /// Number of timed samples taken.
+    pub samples: usize,
+    /// Iterations per sample batch.
+    pub batch: u64,
+}
+
+impl Measurement {
+    /// Renders the fixed-format report line.
+    pub fn report_line(&self) -> String {
+        let (value, unit) = if self.median_ns >= 1_000_000.0 {
+            (self.median_ns / 1_000_000.0, "ms")
+        } else if self.median_ns >= 1_000.0 {
+            (self.median_ns / 1_000.0, "us")
+        } else {
+            (self.median_ns, "ns")
+        };
+        format!(
+            "bench {:<40} median {value:>9.3} {unit}/iter  ({} samples x {} iters)",
+            self.name, self.samples, self.batch
+        )
+    }
+}
+
+/// Collects measurements and prints them as they complete.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    results: Vec<Measurement>,
+}
+
+impl Bencher {
+    /// Creates an empty bencher.
+    pub fn new() -> Self {
+        Bencher::default()
+    }
+
+    /// Runs `f` repeatedly, measuring time per call, and records the
+    /// result under `name`. The closure's return value is passed through
+    /// [`black_box`] so the work cannot be optimized away.
+    pub fn bench<T, F: FnMut() -> T>(&mut self, name: &str, mut f: F) -> &Measurement {
+        // Warmup + calibration: find a batch size whose runtime is near
+        // the target sample time.
+        let warmup_start = Instant::now();
+        let mut calibration_iters = 0u64;
+        while warmup_start.elapsed() < WARMUP_TIME {
+            black_box(f());
+            calibration_iters += 1;
+        }
+        let per_iter = warmup_start.elapsed().as_nanos() as f64 / calibration_iters.max(1) as f64;
+        let batch = ((TARGET_SAMPLE_TIME.as_nanos() as f64 / per_iter.max(0.1)) as u64).max(1);
+
+        let mut sample_ns: Vec<f64> = Vec::with_capacity(SAMPLES);
+        for _ in 0..SAMPLES {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            sample_ns.push(t0.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        sample_ns.sort_by(|a, b| a.total_cmp(b));
+        let median_ns = sample_ns[sample_ns.len() / 2];
+
+        let m = Measurement {
+            name: name.to_owned(),
+            median_ns,
+            samples: SAMPLES,
+            batch,
+        };
+        println!("{}", m.report_line());
+        self.results.push(m);
+        self.results.last().expect("just pushed")
+    }
+
+    /// All measurements taken so far, in run order.
+    pub fn results(&self) -> &[Measurement] {
+        &self.results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        let mut b = Bencher::new();
+        let mut acc = 0u64;
+        let m = b.bench("test/add", || {
+            acc = acc.wrapping_add(1);
+            acc
+        });
+        assert!(m.median_ns > 0.0);
+        assert_eq!(m.samples, SAMPLES);
+        assert_eq!(b.results().len(), 1);
+    }
+
+    #[test]
+    fn report_line_picks_unit() {
+        let m = Measurement {
+            name: "x".into(),
+            median_ns: 2_500.0,
+            samples: 3,
+            batch: 10,
+        };
+        assert!(m.report_line().contains("us/iter"));
+        let m2 = Measurement {
+            median_ns: 12.0,
+            ..m
+        };
+        assert!(m2.report_line().contains("ns/iter"));
+    }
+}

@@ -1,33 +1,36 @@
 //! Table printing and CSV emission for experiment results.
 
 use std::fs;
-use std::io::Write as _;
+use std::io;
 use std::path::{Path, PathBuf};
+use timecache_telemetry::encode;
 
-/// The directory experiment CSVs are written to (`results/` next to the
-/// workspace root, created on demand).
-pub fn results_dir() -> PathBuf {
+/// The directory experiment artifacts (CSVs, telemetry snapshots) are
+/// written to: `$TIMECACHE_RESULTS` or `results/`, created on demand.
+///
+/// # Errors
+///
+/// Returns the underlying error if the directory cannot be created.
+pub fn results_dir() -> io::Result<PathBuf> {
     let dir = std::env::var_os("TIMECACHE_RESULTS")
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("results"));
-    fs::create_dir_all(&dir).expect("create results dir");
-    dir
+    fs::create_dir_all(&dir)?;
+    Ok(dir)
 }
 
-/// Writes rows as a CSV file under [`results_dir`]; returns the path.
+/// Writes rows as an RFC-4180 CSV file (cells containing commas, quotes,
+/// or newlines are quoted and escaped) under [`results_dir`]; returns the
+/// path.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on I/O errors (experiments are command-line tools; failing loudly
-/// is the right behaviour).
-pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) -> PathBuf {
-    let path = results_dir().join(name);
-    let mut f = fs::File::create(&path).expect("create csv");
-    writeln!(f, "{}", header.join(",")).expect("write header");
-    for row in rows {
-        writeln!(f, "{}", row.join(",")).expect("write row");
-    }
-    path
+/// Returns the underlying error if the directory or file cannot be
+/// written.
+pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) -> io::Result<PathBuf> {
+    let path = results_dir()?.join(name);
+    fs::write(&path, encode::csv_table(header, rows))?;
+    Ok(path)
 }
 
 /// Prints an aligned text table with a header rule.
@@ -51,7 +54,10 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     };
     let head: Vec<String> = header.iter().map(|s| s.to_string()).collect();
     println!("{}", fmt_row(&head));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+    );
     for row in rows {
         println!("{}", fmt_row(row));
     }
@@ -100,10 +106,25 @@ mod tests {
             "unit_test.csv",
             &["a", "b"],
             &[vec!["1".into(), "2".into()]],
-        );
+        )
+        .unwrap();
         assert_csv_written(&p);
         let body = fs::read_to_string(&p).unwrap();
         assert_eq!(body, "a,b\n1,2\n");
+        std::env::remove_var("TIMECACHE_RESULTS");
+    }
+
+    #[test]
+    fn csv_escapes_delimiters_in_cells() {
+        std::env::set_var("TIMECACHE_RESULTS", std::env::temp_dir().join("tc-results"));
+        let p = write_csv(
+            "unit_test_escape.csv",
+            &["label", "note"],
+            &[vec!["a,b".into(), "say \"hi\"".into()]],
+        )
+        .unwrap();
+        let body = fs::read_to_string(&p).unwrap();
+        assert_eq!(body, "label,note\n\"a,b\",\"say \"\"hi\"\"\"\n");
         std::env::remove_var("TIMECACHE_RESULTS");
     }
 }

@@ -127,6 +127,7 @@ fn build_system(params: &RunParams, cores: usize, security: SecurityMode) -> Sys
         hierarchy: hier,
         quantum_cycles: params.quantum_cycles,
         discard_snapshots: params.discard_snapshots,
+        telemetry: crate::telemetry::current(),
         ..SystemConfig::default()
     };
     System::new(cfg).expect("experiment config is valid")
@@ -239,7 +240,11 @@ mod tests {
         let cmp = compare_spec_pair(spec, &RunParams::quick());
         assert_eq!(cmp.label, "2Xspecrand");
         assert!(cmp.baseline.cycles > 0);
-        assert!(cmp.overhead() > 0.5 && cmp.overhead() < 2.0, "{}", cmp.overhead());
+        assert!(
+            cmp.overhead() > 0.5 && cmp.overhead() < 2.0,
+            "{}",
+            cmp.overhead()
+        );
         // Baseline never sees first-access misses.
         assert_eq!(cmp.baseline.stats.total_first_access(), 0);
         assert!(cmp.baseline.context_switches > 0);

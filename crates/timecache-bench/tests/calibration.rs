@@ -37,7 +37,12 @@ fn same_benchmark_baseline_mpki_tracks_table_ii() {
             .paper_baseline_mpki()
             .expect("same-benchmark pairs have paper values");
         let measured = run_spec_pair_mode(&spec, SecurityMode::Baseline, &params).llc_mpki();
-        eprintln!("{:<16} measured {:>9.4}  paper {:>9.4}", spec.label(), measured, paper);
+        eprintln!(
+            "{:<16} measured {:>9.4}  paper {:>9.4}",
+            spec.label(),
+            measured,
+            paper
+        );
         if paper < NOISE_FLOOR {
             if measured > NOISE_FLOOR * 10.0 {
                 failures.push(format!(
@@ -55,5 +60,9 @@ fn same_benchmark_baseline_mpki_tracks_table_ii() {
             ));
         }
     }
-    assert!(failures.is_empty(), "miscalibrated presets:\n{}", failures.join("\n"));
+    assert!(
+        failures.is_empty(),
+        "miscalibrated presets:\n{}",
+        failures.join("\n")
+    );
 }

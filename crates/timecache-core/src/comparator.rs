@@ -42,7 +42,10 @@ pub struct CompareOutcome {
 impl CompareOutcome {
     /// Number of lines flagged for reset.
     pub fn reset_count(&self) -> usize {
-        self.reset_mask.iter().map(|w| w.count_ones() as usize).sum()
+        self.reset_mask
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum()
     }
 }
 
@@ -100,7 +103,11 @@ impl BitSerialComparator {
         // bit-plane of the transposed array through the regular interface.
         for bit in (0..width).rev() {
             // Ts[bit] is a single wire fanned out to every peripheral.
-            let a: u64 = if ts.value() >> bit & 1 == 1 { u64::MAX } else { 0 };
+            let a: u64 = if ts.value() >> bit & 1 == 1 {
+                u64::MAX
+            } else {
+                0
+            };
             let plane = tc.bit_plane(bit);
             for w in 0..words {
                 let b = plane[w];

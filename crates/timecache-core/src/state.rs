@@ -99,7 +99,8 @@ impl Sharers {
                 before
             }
             Sharers::Limited(lp) => {
-                let before = lp.extract_bits(ctx)
+                let before = lp
+                    .extract_bits(ctx)
                     .iter()
                     .map(|w| w.count_ones() as usize)
                     .sum();
@@ -184,12 +185,12 @@ impl TimeCacheState {
         assert!(num_lines > 0, "cache must have at least one line");
         assert!(num_contexts > 0, "cache must serve at least one context");
         let sharers = match config.sharer_tracking() {
-            SharerTracking::FullMap => {
-                Sharers::Full(vec![SBitArray::new(num_lines); num_contexts])
-            }
-            SharerTracking::LimitedPointers { k } => {
-                Sharers::Limited(LimitedPointers::new(num_lines, num_contexts, k.min(num_contexts)))
-            }
+            SharerTracking::FullMap => Sharers::Full(vec![SBitArray::new(num_lines); num_contexts]),
+            SharerTracking::LimitedPointers { k } => Sharers::Limited(LimitedPointers::new(
+                num_lines,
+                num_contexts,
+                k.min(num_contexts),
+            )),
         };
         TimeCacheState {
             config,
@@ -494,7 +495,7 @@ mod tests {
         // correctness is maintained."
         let mut tc = state(8, 1, 8);
         tc.on_fill(0, 0, 230); // Tc = 230
-        // Process accessed it, preempted at raw 258 -> Ts truncates to 2.
+                               // Process accessed it, preempted at raw 258 -> Ts truncates to 2.
         let snap = tc.save_context(0, 258);
         tc.restore_context(0, None, 258);
         // Resumes at raw 261 -> truncated 5; no rollover detected (5 >= 2).

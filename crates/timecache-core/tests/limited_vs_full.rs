@@ -2,9 +2,35 @@
 //! sequence, a context that the limited tracker shows as *visible* is also
 //! visible under the full s-bit map — pointer overflow only ever revokes
 //! visibility (extra misses), never grants it (stale hits).
+//!
+//! Deterministic seed-driven randomization (no third-party crates; see
+//! DESIGN.md §6).
 
-use proptest::prelude::*;
 use timecache_core::{LimitedPointers, SBitArray};
+
+/// Minimal xorshift64* PRNG (duplicated from `timecache_workloads::rng`
+/// because `timecache-core` sits below the workload crate).
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        Rng((z ^ (z >> 31)) | 1)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
 
 #[derive(Debug, Clone)]
 enum Ev {
@@ -14,116 +40,110 @@ enum Ev {
     ResetCtx { ctx: usize },
 }
 
-fn ev(lines: usize, ctxs: usize) -> impl Strategy<Value = Ev> {
-    prop_oneof![
-        (0..lines, 0..ctxs).prop_map(|(line, ctx)| Ev::Fill { line, ctx }),
-        (0..lines, 0..ctxs).prop_map(|(line, ctx)| Ev::FirstAccess { line, ctx }),
-        (0..lines).prop_map(|line| Ev::Evict { line }),
-        (0..ctxs).prop_map(|ctx| Ev::ResetCtx { ctx }),
-    ]
+fn random_event(rng: &mut Rng, lines: usize, ctxs: usize) -> Ev {
+    let line = rng.below(lines as u64) as usize;
+    let ctx = rng.below(ctxs as u64) as usize;
+    match rng.below(4) {
+        0 => Ev::Fill { line, ctx },
+        1 => Ev::FirstAccess { line, ctx },
+        2 => Ev::Evict { line },
+        _ => Ev::ResetCtx { ctx },
+    }
 }
 
-proptest! {
-    #[test]
-    fn limited_is_never_more_permissive(
-        k in 1usize..4,
-        events in prop::collection::vec(ev(16, 6), 0..300),
-    ) {
-        const LINES: usize = 16;
-        const CTXS: usize = 6;
+fn apply(e: &Ev, limited: &mut LimitedPointers, full: &mut [SBitArray]) {
+    match *e {
+        Ev::Fill { line, ctx } => {
+            limited.set_exclusive(line, ctx);
+            for (c, bits) in full.iter_mut().enumerate() {
+                if c == ctx {
+                    bits.set(line);
+                } else {
+                    bits.clear(line);
+                }
+            }
+        }
+        Ev::FirstAccess { line, ctx } => {
+            limited.grant(line, ctx);
+            full[ctx].set(line);
+        }
+        Ev::Evict { line } => {
+            limited.clear_line(line);
+            for bits in full.iter_mut() {
+                bits.clear(line);
+            }
+        }
+        Ev::ResetCtx { ctx } => {
+            limited.clear_ctx(ctx);
+            full[ctx].clear_all();
+        }
+    }
+}
+
+#[test]
+fn limited_is_never_more_permissive() {
+    const LINES: usize = 16;
+    const CTXS: usize = 6;
+    for seed in 0..48u64 {
+        let mut rng = Rng::new(seed);
+        let k = (rng.below(3) + 1) as usize;
+        let nevents = rng.below(300) as usize;
         let mut limited = LimitedPointers::new(LINES, CTXS, k);
         let mut full: Vec<SBitArray> = (0..CTXS).map(|_| SBitArray::new(LINES)).collect();
 
-        for e in events {
-            match e {
-                Ev::Fill { line, ctx } => {
-                    limited.set_exclusive(line, ctx);
-                    for (c, bits) in full.iter_mut().enumerate() {
-                        if c == ctx {
-                            bits.set(line);
-                        } else {
-                            bits.clear(line);
-                        }
-                    }
-                }
-                Ev::FirstAccess { line, ctx } => {
-                    limited.grant(line, ctx);
-                    full[ctx].set(line);
-                }
-                Ev::Evict { line } => {
-                    limited.clear_line(line);
-                    for bits in &mut full {
-                        bits.clear(line);
-                    }
-                }
-                Ev::ResetCtx { ctx } => {
-                    limited.clear_ctx(ctx);
-                    full[ctx].clear_all();
-                }
-            }
+        for _ in 0..nevents {
+            let e = random_event(&mut rng, LINES, CTXS);
+            apply(&e, &mut limited, &mut full);
             // Invariant: limited-visible ⇒ full-visible.
             for line in 0..LINES {
-                for ctx in 0..CTXS {
+                for (ctx, full_ctx) in full.iter().enumerate() {
                     if limited.has(line, ctx) {
-                        prop_assert!(
-                            full[ctx].get(line),
-                            "line {} ctx {} visible in limited but not full",
-                            line,
-                            ctx
+                        assert!(
+                            full_ctx.get(line),
+                            "seed {seed} k {k}: line {line} ctx {ctx} visible in \
+                             limited but not full"
                         );
                     }
                 }
             }
         }
     }
+}
 
-    /// With k == num_contexts the representations are exactly equivalent
-    /// (enough slots for every context: nothing is ever revoked).
-    #[test]
-    fn full_k_is_exact(
-        events in prop::collection::vec(ev(12, 3), 0..200),
-    ) {
-        const LINES: usize = 12;
-        const CTXS: usize = 3;
+/// With k == num_contexts the representations are exactly equivalent
+/// (enough slots for every context: nothing is ever revoked).
+#[test]
+fn full_k_is_exact() {
+    const LINES: usize = 12;
+    const CTXS: usize = 3;
+    for seed in 0..48u64 {
+        let mut rng = Rng::new(0x100 + seed);
+        let nevents = rng.below(200) as usize;
         let mut limited = LimitedPointers::new(LINES, CTXS, CTXS);
         let mut full: Vec<SBitArray> = (0..CTXS).map(|_| SBitArray::new(LINES)).collect();
 
-        for e in events {
-            match e {
-                Ev::Fill { line, ctx } => {
-                    limited.set_exclusive(line, ctx);
-                    for (c, bits) in full.iter_mut().enumerate() {
-                        if c == ctx { bits.set(line); } else { bits.clear(line); }
-                    }
-                }
-                Ev::FirstAccess { line, ctx } => {
-                    limited.grant(line, ctx);
-                    full[ctx].set(line);
-                }
-                Ev::Evict { line } => {
-                    limited.clear_line(line);
-                    for bits in &mut full { bits.clear(line); }
-                }
-                Ev::ResetCtx { ctx } => {
-                    limited.clear_ctx(ctx);
-                    full[ctx].clear_all();
-                }
-            }
+        for _ in 0..nevents {
+            let e = random_event(&mut rng, LINES, CTXS);
+            apply(&e, &mut limited, &mut full);
         }
         for line in 0..LINES {
-            for ctx in 0..CTXS {
-                prop_assert_eq!(limited.has(line, ctx), full[ctx].get(line));
+            for (ctx, full_ctx) in full.iter().enumerate() {
+                assert_eq!(limited.has(line, ctx), full_ctx.get(line), "seed {seed}");
             }
         }
     }
+}
 
-    /// Snapshot extraction/load round-trips through the packed bit form.
-    #[test]
-    fn extract_load_roundtrip(
-        grants in prop::collection::vec((0usize..16, 0usize..4), 0..64),
-    ) {
+/// Snapshot extraction/load round-trips through the packed bit form.
+#[test]
+fn extract_load_roundtrip() {
+    for seed in 0..32u64 {
+        let mut rng = Rng::new(0x200 + seed);
         let mut a = LimitedPointers::new(16, 4, 2);
-        for (line, ctx) in grants {
+        let ngrants = rng.below(64) as usize;
+        for _ in 0..ngrants {
+            let line = rng.below(16) as usize;
+            let ctx = rng.below(4) as usize;
             a.grant(line, ctx);
         }
         for ctx in 0..4 {
@@ -131,7 +151,7 @@ proptest! {
             let mut b = LimitedPointers::new(16, 4, 2);
             b.load_bits(ctx, &bits);
             for line in 0..16 {
-                prop_assert_eq!(b.has(line, ctx), a.has(line, ctx));
+                assert_eq!(b.has(line, ctx), a.has(line, ctx), "seed {seed} ctx {ctx}");
             }
         }
     }

@@ -1,87 +1,138 @@
-//! Property-based tests for the TimeCache hardware mechanism.
+//! Randomized (but fully deterministic, seed-driven) tests for the
+//! TimeCache hardware mechanism.
 //!
 //! These verify the gate-level comparator against the functional predicate,
 //! the transpose array against a plain vector, and the central security
 //! invariant of the state machine: *a context never observes `Visible` for a
 //! line it has not itself paid a (first-access) miss for since the line's
 //! most recent fill*.
+//!
+//! The workspace builds offline with no third-party crates (DESIGN.md §6),
+//! so instead of `proptest` these drive the same invariants from an
+//! in-file xorshift64* generator over a fixed set of seeds.
 
-use proptest::prelude::*;
 use timecache_core::{
     BitSerialComparator, SBitArray, TimeCacheConfig, TimeCacheState, TimestampWidth,
     TransposeArray, Visibility, WrappingTime,
 };
 
-proptest! {
-    /// The bit-serial circuit computes exactly `tc > ts` for every line.
-    #[test]
-    fn comparator_matches_functional_compare(
-        width in 1u8..=64,
-        ts_raw in any::<u64>(),
-        tcs in prop::collection::vec(any::<u64>(), 1..300),
-    ) {
+/// Minimal xorshift64* PRNG (same algorithm as `timecache_workloads::rng`,
+/// duplicated here because `timecache-core` sits below the workload crate).
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        Rng((z ^ (z >> 31)) | 1)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+/// The bit-serial circuit computes exactly `tc > ts` for every line.
+#[test]
+fn comparator_matches_functional_compare() {
+    for seed in 0..32u64 {
+        let mut rng = Rng::new(seed);
+        let width = (rng.below(64) + 1) as u8;
         let w = TimestampWidth::new(width);
-        let mut arr = TransposeArray::new(tcs.len(), w);
+        let len = (rng.below(299) + 1) as usize;
+        let tcs: Vec<u64> = (0..len).map(|_| rng.next_u64()).collect();
+        let mut arr = TransposeArray::new(len, w);
         for (i, &v) in tcs.iter().enumerate() {
             arr.write_word(i, v);
         }
+        let ts_raw = rng.next_u64();
         let ts = WrappingTime::from_cycle(ts_raw, w);
         let out = BitSerialComparator::compare(&arr, ts);
         for (i, &v) in tcs.iter().enumerate() {
             let expected = w.truncate(v) > ts.value();
             let got = out.reset_mask[i / 64] >> (i % 64) & 1 == 1;
-            prop_assert_eq!(got, expected, "line {} tc {} ts {}", i, v, ts_raw);
+            assert_eq!(got, expected, "seed {seed} line {i} tc {v} ts {ts_raw}");
         }
-        prop_assert_eq!(out.cycles, width as u64 + 1);
+        assert_eq!(out.cycles, width as u64 + 1);
     }
+}
 
-    /// The comparator never flags phantom lines beyond the array length.
-    #[test]
-    fn comparator_mask_has_no_phantom_bits(
-        len in 1usize..200,
-        ts_raw in any::<u64>(),
-    ) {
+/// The comparator never flags phantom lines beyond the array length.
+#[test]
+fn comparator_mask_has_no_phantom_bits() {
+    for seed in 0..32u64 {
+        let mut rng = Rng::new(0x100 + seed);
+        let len = (rng.below(199) + 1) as usize;
+        let ts_raw = rng.next_u64();
         let w = TimestampWidth::new(16);
         let mut arr = TransposeArray::new(len, w);
         for i in 0..len {
             arr.write_word(i, u64::MAX); // everything maximally new
         }
         let out = BitSerialComparator::compare(&arr, WrappingTime::from_cycle(ts_raw, w));
-        let expected = if w.truncate(u64::MAX) > w.truncate(ts_raw) { len } else { 0 };
-        prop_assert_eq!(out.reset_count(), expected);
+        let expected = if w.truncate(u64::MAX) > w.truncate(ts_raw) {
+            len
+        } else {
+            0
+        };
+        assert_eq!(out.reset_count(), expected, "seed {seed}");
     }
+}
 
-    /// Transposed storage round-trips arbitrary word sequences.
-    #[test]
-    fn transpose_roundtrip(
-        width in 1u8..=64,
-        values in prop::collection::vec(any::<u64>(), 1..200),
-    ) {
+/// Transposed storage round-trips arbitrary word sequences.
+#[test]
+fn transpose_roundtrip() {
+    for seed in 0..32u64 {
+        let mut rng = Rng::new(0x200 + seed);
+        let width = (rng.below(64) + 1) as u8;
         let w = TimestampWidth::new(width);
-        let mut arr = TransposeArray::new(values.len(), w);
+        let len = (rng.below(199) + 1) as usize;
+        let values: Vec<u64> = (0..len).map(|_| rng.next_u64()).collect();
+        let mut arr = TransposeArray::new(len, w);
         for (i, &v) in values.iter().enumerate() {
             arr.write_word(i, v);
         }
         for (i, &v) in values.iter().enumerate() {
-            prop_assert_eq!(arr.read_word(i), w.truncate(v));
+            assert_eq!(arr.read_word(i), w.truncate(v), "seed {seed} word {i}");
         }
     }
+}
 
-    /// SBitArray behaves like a reference Vec<bool> under a random op
-    /// sequence (set / clear / reset-mask / clear_all).
-    #[test]
-    fn sbits_match_reference_model(
-        len in 1usize..200,
-        ops in prop::collection::vec((0u8..4, any::<usize>(), any::<u64>()), 0..100),
-    ) {
+/// SBitArray behaves like a reference Vec<bool> under a random op
+/// sequence (set / clear / reset-mask / clear_all).
+#[test]
+fn sbits_match_reference_model() {
+    for seed in 0..32u64 {
+        let mut rng = Rng::new(0x300 + seed);
+        let len = (rng.below(199) + 1) as usize;
         let mut s = SBitArray::new(len);
         let mut model = vec![false; len];
-        for (op, idx, maskseed) in ops {
-            let idx = idx % len;
+        let nops = rng.below(100) as usize;
+        for _ in 0..nops {
+            let op = rng.below(4) as u8;
+            let idx = rng.below(len as u64) as usize;
+            let maskseed = rng.next_u64();
             match op {
-                0 => { s.set(idx); model[idx] = true; }
-                1 => { s.clear(idx); model[idx] = false; }
-                2 => { s.clear_all(); model.fill(false); }
+                0 => {
+                    s.set(idx);
+                    model[idx] = true;
+                }
+                1 => {
+                    s.clear(idx);
+                    model[idx] = false;
+                }
+                2 => {
+                    s.clear_all();
+                    model.fill(false);
+                }
                 _ => {
                     let words = len.div_ceil(64);
                     let mask: Vec<u64> = (0..words)
@@ -97,9 +148,9 @@ proptest! {
             }
         }
         for (i, &m) in model.iter().enumerate() {
-            prop_assert_eq!(s.get(i), m, "bit {}", i);
+            assert_eq!(s.get(i), m, "seed {seed} bit {i}");
         }
-        prop_assert_eq!(s.count_set(), model.iter().filter(|&&b| b).count());
+        assert_eq!(s.count_set(), model.iter().filter(|&&b| b).count());
     }
 }
 
@@ -116,24 +167,26 @@ enum Ev {
     SwitchIn { ctx: usize, slot: usize },
 }
 
-fn ev_strategy(lines: usize, ctxs: usize, slots: usize) -> impl Strategy<Value = Ev> {
-    prop_oneof![
-        (0..lines, 0..ctxs).prop_map(|(line, ctx)| Ev::Fill { line, ctx }),
-        (0..lines).prop_map(|line| Ev::Evict { line }),
-        (0..lines, 0..ctxs).prop_map(|(line, ctx)| Ev::Access { line, ctx }),
-        (0..ctxs, 0..slots).prop_map(|(ctx, slot)| Ev::SwitchOut { ctx, slot }),
-        (0..ctxs, 0..slots).prop_map(|(ctx, slot)| Ev::SwitchIn { ctx, slot }),
-    ]
+fn random_event(rng: &mut Rng, lines: usize, ctxs: usize, slots: usize) -> Ev {
+    let line = rng.below(lines as u64) as usize;
+    let ctx = rng.below(ctxs as u64) as usize;
+    let slot = rng.below(slots as u64) as usize;
+    match rng.below(5) {
+        0 => Ev::Fill { line, ctx },
+        1 => Ev::Evict { line },
+        2 => Ev::Access { line, ctx },
+        3 => Ev::SwitchOut { ctx, slot },
+        _ => Ev::SwitchIn { ctx, slot },
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-    #[test]
-    fn state_machine_never_leaks_residency(
-        events in prop::collection::vec(ev_strategy(24, 2, 3), 0..200),
-    ) {
-        const LINES: usize = 24;
-        const CTXS: usize = 2;
+#[test]
+fn state_machine_never_leaks_residency() {
+    const LINES: usize = 24;
+    const CTXS: usize = 2;
+    for seed in 0..64u64 {
+        let mut rng = Rng::new(0x400 + seed);
+        let nevents = rng.below(200) as usize;
         // Wide counter: no rollover in this trace, so the hardware should
         // *exactly* match the oracle (with narrow counters the hardware is
         // allowed extra misses but never extra hits; covered below).
@@ -148,21 +201,19 @@ proptest! {
         let mut fill_time = [0u64; LINES];
         let mut now = 1u64;
 
-        for ev in events {
+        for _ in 0..nevents {
             now += 1;
-            match ev {
+            match random_event(&mut rng, LINES, CTXS, 3) {
                 Ev::Fill { line, ctx } => {
                     hw.on_fill(line, ctx, now);
                     fill_time[line] = now;
-                    for c in 0..CTXS {
-                        paid[line][c] = c == ctx;
+                    for (c, p) in paid[line].iter_mut().enumerate() {
+                        *p = c == ctx;
                     }
                 }
                 Ev::Evict { line } => {
                     hw.on_evict(line);
-                    for c in 0..CTXS {
-                        paid[line][c] = false;
-                    }
+                    paid[line].fill(false);
                 }
                 Ev::Access { line, ctx } => {
                     let vis = hw.visibility(line, ctx);
@@ -171,7 +222,7 @@ proptest! {
                     } else {
                         Visibility::FirstAccess
                     };
-                    prop_assert_eq!(vis, expected, "line {} ctx {}", line, ctx);
+                    assert_eq!(vis, expected, "seed {seed} line {line} ctx {ctx}");
                     if vis == Visibility::FirstAccess {
                         hw.record_first_access(line, ctx);
                         paid[line][ctx] = true;
@@ -192,7 +243,7 @@ proptest! {
                 }
                 Ev::SwitchIn { ctx, slot } => {
                     let out = hw.restore_context(ctx, hw_snaps[slot].as_ref(), now);
-                    prop_assert!(!out.rollover, "32-bit counter cannot roll over here");
+                    assert!(!out.rollover, "32-bit counter cannot roll over here");
                     match &oracle_snaps[slot] {
                         Some((bits, ts)) => {
                             for line in 0..LINES {
@@ -212,27 +263,29 @@ proptest! {
         }
 
         // Final visibility sweep must match the oracle everywhere.
-        for line in 0..LINES {
-            for ctx in 0..CTXS {
-                let expected = if paid[line][ctx] {
+        for (line, row) in paid.iter().enumerate() {
+            for (ctx, &p) in row.iter().enumerate() {
+                let expected = if p {
                     Visibility::Visible
                 } else {
                     Visibility::FirstAccess
                 };
-                prop_assert_eq!(hw.visibility(line, ctx), expected);
+                assert_eq!(hw.visibility(line, ctx), expected, "seed {seed}");
             }
         }
     }
+}
 
-    /// With a *narrow* (rollover-prone) counter the hardware may take extra
-    /// first-access misses but must never be more permissive than the
-    /// oracle: Visible implies the oracle says paid.
-    #[test]
-    fn narrow_counters_only_err_towards_misses(
-        events in prop::collection::vec(ev_strategy(16, 1, 2), 0..150),
-        step in 1u64..40,
-    ) {
-        const LINES: usize = 16;
+/// With a *narrow* (rollover-prone) counter the hardware may take extra
+/// first-access misses but must never be more permissive than the
+/// oracle: Visible implies the oracle says paid.
+#[test]
+fn narrow_counters_only_err_towards_misses() {
+    const LINES: usize = 16;
+    for seed in 0..48u64 {
+        let mut rng = Rng::new(0x500 + seed);
+        let nevents = rng.below(150) as usize;
+        let step = rng.below(39) + 1; // large steps force 6-bit rollover
         let mut hw = TimeCacheState::new(LINES, 1, TimeCacheConfig::new(6));
         let mut paid = [false; LINES];
         let mut hw_snaps: Vec<Option<timecache_core::Snapshot>> = vec![None; 2];
@@ -240,9 +293,9 @@ proptest! {
         let mut fill_time = [0u64; LINES];
         let mut now = 1u64;
 
-        for ev in events {
-            now += step; // large steps force frequent rollover of 6-bit counter
-            match ev {
+        for _ in 0..nevents {
+            now += step;
+            match random_event(&mut rng, LINES, 1, 2) {
                 Ev::Fill { line, .. } => {
                     hw.on_fill(line, 0, now);
                     fill_time[line] = now;
@@ -254,7 +307,7 @@ proptest! {
                 }
                 Ev::Access { line, .. } => {
                     if hw.visibility(line, 0) == Visibility::Visible {
-                        prop_assert!(paid[line], "stale hit on line {}", line);
+                        assert!(paid[line], "seed {seed}: stale hit on line {line}");
                     } else {
                         hw.record_first_access(line, 0);
                         paid[line] = true;
@@ -282,9 +335,9 @@ proptest! {
             }
         }
 
-        for line in 0..LINES {
+        for (line, &p) in paid.iter().enumerate() {
             if hw.visibility(line, 0) == Visibility::Visible {
-                prop_assert!(paid[line], "stale hit on line {} at end", line);
+                assert!(p, "seed {seed}: stale hit on line {line} at end");
             }
         }
     }

@@ -98,6 +98,19 @@ mod tests {
     }
 
     #[test]
+    fn cpi_edge_cases() {
+        // Zero instructions with zero cycles: still zero, never NaN.
+        assert_eq!(pm(0, 0).cpi(), 0.0);
+        assert!(!pm(0, 0).cpi().is_nan());
+        // Zero cycles over nonzero instructions.
+        assert_eq!(pm(0, 10).cpi(), 0.0);
+        // An ideal in-order run: exactly one cycle per instruction.
+        assert!((pm(1_000_000, 1_000_000).cpi() - 1.0).abs() < 1e-12);
+        // Huge counts stay finite.
+        assert!(pm(u64::MAX, 1).cpi().is_finite());
+    }
+
+    #[test]
     fn report_helpers() {
         let r = RunReport {
             processes: vec![pm(10, 10)],

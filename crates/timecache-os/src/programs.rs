@@ -156,11 +156,29 @@ mod tests {
     #[test]
     fn shared_writer_yields_after_sweep() {
         let mut p = SharedWriter::new(0x2000, 2, 64);
-        assert!(matches!(p.next_op(), Op::Instr { data: Some((DataKind::Store, 0x2000)), .. }));
-        assert!(matches!(p.next_op(), Op::Instr { data: Some((DataKind::Store, 0x2040)), .. }));
+        assert!(matches!(
+            p.next_op(),
+            Op::Instr {
+                data: Some((DataKind::Store, 0x2000)),
+                ..
+            }
+        ));
+        assert!(matches!(
+            p.next_op(),
+            Op::Instr {
+                data: Some((DataKind::Store, 0x2040)),
+                ..
+            }
+        ));
         assert!(matches!(p.next_op(), Op::Yield { .. }));
         // And starts over.
-        assert!(matches!(p.next_op(), Op::Instr { data: Some((DataKind::Store, 0x2000)), .. }));
+        assert!(matches!(
+            p.next_op(),
+            Op::Instr {
+                data: Some((DataKind::Store, 0x2000)),
+                ..
+            }
+        ));
     }
 
     #[test]

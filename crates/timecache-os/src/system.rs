@@ -6,6 +6,7 @@ use crate::program::{DataKind, Observation, Op, Program};
 use crate::switch::SwitchCostModel;
 use std::collections::VecDeque;
 use timecache_sim::{AccessKind, ConfigError, Hierarchy, HierarchyConfig};
+use timecache_telemetry::{Counter, Phase, Scope, Telemetry, TraceEvent};
 
 /// System-level configuration: the hierarchy plus scheduling parameters.
 #[derive(Debug, Clone)]
@@ -22,6 +23,12 @@ pub struct SystemConfig {
     /// behaviourally equivalent to flushing visibility on context switches
     /// (the expensive design Section V-B argues against).
     pub discard_snapshots: bool,
+    /// Observability handle. Disabled by default; when enabled, the system
+    /// attaches it to the hierarchy, streams scheduler events (snapshot
+    /// saves, restores with the charged DMA cost, rollover resets) into
+    /// its tracer, and attributes every simulated cycle to a phase
+    /// (compute / memory stall / switch cost) per process and context.
+    pub telemetry: Telemetry,
 }
 
 impl Default for SystemConfig {
@@ -31,7 +38,67 @@ impl Default for SystemConfig {
             quantum_cycles: 2_000_000,
             switch_cost: SwitchCostModel::default(),
             discard_snapshots: false,
+            telemetry: Telemetry::disabled(),
         }
+    }
+}
+
+/// Pre-resolved scheduler metric handles (only allocated when telemetry is
+/// enabled, so the scheduler loop stays allocation- and lookup-free).
+#[derive(Debug, Clone)]
+struct OsSensors {
+    tel: Telemetry,
+    /// `os_context_switches_total`.
+    switches: Counter,
+    /// `os_switch_cycles_total{kind=}` — total vs TimeCache-specific share.
+    switch_cycles: Counter,
+    tc_switch_cycles: Counter,
+    /// `os_snapshot_saves_total`.
+    saves: Counter,
+    /// `os_quanta_expired_total` / `os_yields_total`.
+    quanta_expired: Counter,
+    yields: Counter,
+    /// `os_instructions_total`.
+    instructions: Counter,
+}
+
+impl OsSensors {
+    fn create(tel: &Telemetry) -> Option<Box<OsSensors>> {
+        let reg = tel.registry()?;
+        Some(Box::new(OsSensors {
+            tel: tel.clone(),
+            switches: reg.counter(
+                "os_context_switches_total",
+                "Context switches performed (CR3 changes, boot excluded).",
+                &[],
+            ),
+            switch_cycles: reg.counter(
+                "os_switch_cycles_total",
+                "Cycles charged for context switches.",
+                &[("kind", "total")],
+            ),
+            tc_switch_cycles: reg.counter(
+                "os_switch_cycles_total",
+                "Cycles charged for context switches.",
+                &[("kind", "timecache")],
+            ),
+            saves: reg.counter(
+                "os_snapshot_saves_total",
+                "s-bit snapshots saved at preemption.",
+                &[],
+            ),
+            quanta_expired: reg.counter(
+                "os_quanta_expired_total",
+                "Preemptions caused by quantum expiry.",
+                &[],
+            ),
+            yields: reg.counter("os_yields_total", "Voluntary yields executed.", &[]),
+            instructions: reg.counter(
+                "os_instructions_total",
+                "Instructions retired across all processes.",
+                &[],
+            ),
+        }))
     }
 }
 
@@ -75,6 +142,7 @@ pub struct System {
     switches: u64,
     switch_cycles: u64,
     tc_switch_cycles: u64,
+    sensors: Option<Box<OsSensors>>,
 }
 
 impl System {
@@ -84,7 +152,9 @@ impl System {
     ///
     /// Returns a [`ConfigError`] if the hierarchy configuration is invalid.
     pub fn new(cfg: SystemConfig) -> Result<Self, ConfigError> {
-        let hier = Hierarchy::new(cfg.hierarchy.clone())?;
+        let mut hier = Hierarchy::new(cfg.hierarchy.clone())?;
+        hier.attach_telemetry(&cfg.telemetry);
+        let sensors = OsSensors::create(&cfg.telemetry);
         let contexts = (0..cfg.hierarchy.cores)
             .flat_map(|core| {
                 (0..cfg.hierarchy.smt_per_core).map(move |thread| ContextState {
@@ -108,6 +178,7 @@ impl System {
             switches: 0,
             switch_cycles: 0,
             tc_switch_cycles: 0,
+            sensors,
         })
     }
 
@@ -144,6 +215,12 @@ impl System {
     /// The system configuration.
     pub fn config(&self) -> &SystemConfig {
         &self.cfg
+    }
+
+    /// The telemetry handle the system reports through (disabled unless one
+    /// was supplied via [`SystemConfig::telemetry`]).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.cfg.telemetry
     }
 
     /// Clears cache statistics (e.g. after a warm-up run).
@@ -216,10 +293,7 @@ impl System {
     /// `max_cycles` (a safety valve for non-terminating programs; those are
     /// reported with `completed == false`).
     pub fn run(&mut self, max_cycles: u64) -> RunReport {
-        loop {
-            let Some(ctx) = self.next_runnable_context(max_cycles) else {
-                break;
-            };
+        while let Some(ctx) = self.next_runnable_context(max_cycles) {
             if self.contexts[ctx].current.is_none() {
                 self.dispatch(ctx);
                 continue;
@@ -242,9 +316,7 @@ impl System {
         self.contexts
             .iter()
             .enumerate()
-            .filter(|(_, c)| {
-                (c.current.is_some() || !c.queue.is_empty()) && c.clock < max_cycles
-            })
+            .filter(|(_, c)| (c.current.is_some() || !c.queue.is_empty()) && c.clock < max_cycles)
             .min_by_key(|(_, c)| c.clock)
             .map(|(i, _)| i)
     }
@@ -267,7 +339,9 @@ impl System {
             } else {
                 None
             };
-            let cost = self.hier.restore_context(core, thread, snapshot.as_ref(), now);
+            let cost = self
+                .hier
+                .restore_context(core, thread, snapshot.as_ref(), now);
 
             if self.contexts[ctx].ever_dispatched {
                 let cycles = self.cfg.switch_cost.cycles(&cost);
@@ -275,6 +349,40 @@ impl System {
                 self.switches += 1;
                 self.switch_cycles += cycles;
                 self.tc_switch_cycles += self.cfg.switch_cost.timecache_overhead_cycles(&cost);
+
+                if let Some(s) = &self.sensors {
+                    let pid = self.processes[next].pid().0;
+                    s.switches.inc();
+                    s.switch_cycles.add(cycles);
+                    s.tc_switch_cycles
+                        .add(self.cfg.switch_cost.timecache_overhead_cycles(&cost));
+                    s.tel.emit_at(
+                        now,
+                        TraceEvent::SwitchRestore {
+                            core: core as u32,
+                            thread: thread as u32,
+                            pid,
+                            comparator_cycles: cost.comparator_cycles,
+                            transfer_lines: cost.transfer_lines,
+                            charged_cycles: cycles,
+                            sbits_reset: cost.sbits_reset,
+                        },
+                    );
+                    if cost.rollover {
+                        s.tel.emit_at(
+                            now,
+                            TraceEvent::RolloverReset {
+                                core: core as u32,
+                                thread: thread as u32,
+                                pid,
+                            },
+                        );
+                    }
+                    if let Some(p) = s.tel.profiler() {
+                        p.record(Scope::Process(pid), Phase::SwitchCost, cycles);
+                        p.record(Scope::Context(ctx as u32), Phase::SwitchCost, cycles);
+                    }
+                }
             }
         }
         self.contexts[ctx].ever_dispatched = true;
@@ -339,6 +447,21 @@ impl System {
         self.processes[pi].instructions += 1;
         self.processes[pi].cpu_cycles += cycles;
 
+        if let Some(s) = &self.sensors {
+            s.instructions.inc();
+            if let Some(p) = s.tel.profiler() {
+                // One base cycle of useful work; everything beyond it was
+                // spent waiting on the hierarchy (or a flush completing).
+                let pid = self.processes[pi].pid().0;
+                p.record(Scope::Process(pid), Phase::Compute, 1);
+                p.record(Scope::Context(ctx as u32), Phase::Compute, 1);
+                if cycles > 1 {
+                    p.record(Scope::Process(pid), Phase::MemoryStall, cycles - 1);
+                    p.record(Scope::Context(ctx as u32), Phase::MemoryStall, cycles - 1);
+                }
+            }
+        }
+
         let obs = Observation {
             instr_index: self.processes[pi].instructions - 1,
             data_latency,
@@ -356,6 +479,13 @@ impl System {
         }
 
         if yielded || self.contexts[ctx].quantum_left == 0 {
+            if let Some(s) = &self.sensors {
+                if yielded {
+                    s.yields.inc();
+                } else {
+                    s.quanta_expired.inc();
+                }
+            }
             self.preempt(ctx, pi);
         }
     }
@@ -372,6 +502,17 @@ impl System {
         }
         if !self.cfg.discard_snapshots {
             self.processes[pi].snapshot = Some(self.hier.save_context(core, thread, now));
+            if let Some(s) = &self.sensors {
+                s.saves.inc();
+                s.tel.emit_at(
+                    now,
+                    TraceEvent::SwitchSave {
+                        core: core as u32,
+                        thread: thread as u32,
+                        pid: self.processes[pi].pid().0,
+                    },
+                );
+            }
         }
         self.contexts[ctx].queue.push_back(pi);
         self.contexts[ctx].current = None;
@@ -499,8 +640,18 @@ mod tests {
     #[test]
     fn multicore_contexts_advance_in_causal_order() {
         let mut s = sys(SecurityMode::Baseline, 2);
-        s.spawn(Box::new(StridedLoop::new(0x10_0000, 4096, 64)), 0, 0, Some(5000));
-        s.spawn(Box::new(StridedLoop::new(0x20_0000, 4096, 64)), 1, 0, Some(5000));
+        s.spawn(
+            Box::new(StridedLoop::new(0x10_0000, 4096, 64)),
+            0,
+            0,
+            Some(5000),
+        );
+        s.spawn(
+            Box::new(StridedLoop::new(0x20_0000, 4096, 64)),
+            1,
+            0,
+            Some(5000),
+        );
         let r = s.run(10_000_000);
         assert!(r.all_completed());
         assert_eq!(r.context_switches, 0);
@@ -511,7 +662,12 @@ mod tests {
     #[test]
     fn memory_traffic_is_accounted() {
         let mut s = sys(SecurityMode::Baseline, 1);
-        s.spawn(Box::new(StridedLoop::new(0x10_0000, 256 * 1024, 64)), 0, 0, Some(8192));
+        s.spawn(
+            Box::new(StridedLoop::new(0x10_0000, 256 * 1024, 64)),
+            0,
+            0,
+            Some(8192),
+        );
         let r = s.run(100_000_000);
         // 256 KiB working set exceeds the 32 KiB L1D: every load misses L1.
         assert!(r.stats.l1d[0].misses > 3000, "{:?}", r.stats.l1d[0]);
@@ -559,5 +715,91 @@ mod tests {
     fn extend_target_checks_pid() {
         let mut s = sys(SecurityMode::Baseline, 1);
         s.extend_target(crate::Pid(9), 1);
+    }
+
+    #[test]
+    fn telemetry_mirrors_scheduler_accounting() {
+        use timecache_core::TimeCacheConfig;
+
+        let mut cfg = SystemConfig::default();
+        cfg.hierarchy.security = SecurityMode::TimeCache(TimeCacheConfig::default());
+        cfg.quantum_cycles = 10_000;
+        cfg.telemetry = Telemetry::enabled();
+        let tel = cfg.telemetry.clone();
+        let mut s = System::new(cfg).unwrap();
+        s.spawn(Box::new(Spin::new(u64::MAX)), 0, 0, Some(20_000));
+        s.spawn(Box::new(Spin::new(u64::MAX)), 0, 0, Some(20_000));
+        let r = s.run(100_000_000);
+        assert!(r.all_completed());
+
+        let reg = tel.registry().unwrap();
+        assert_eq!(
+            reg.counter_value("os_context_switches_total", &[]),
+            Some(r.context_switches)
+        );
+        assert_eq!(
+            reg.counter_value("os_switch_cycles_total", &[("kind", "total")]),
+            Some(r.switch_cycles)
+        );
+        assert_eq!(
+            reg.counter_value("os_switch_cycles_total", &[("kind", "timecache")]),
+            Some(r.timecache_switch_cycles)
+        );
+        assert_eq!(
+            reg.counter_value("os_instructions_total", &[]),
+            Some(r.total_instructions)
+        );
+
+        // The sim-layer counters agree exactly with the run's CacheStats.
+        for (cache, cs) in [
+            ("l1i", r.stats.l1i_total()),
+            ("l1d", r.stats.l1d_total()),
+            ("llc", r.stats.llc),
+        ] {
+            for (outcome, expected) in [
+                ("hit", cs.hits),
+                ("first_access", cs.first_access),
+                ("miss", cs.misses),
+            ] {
+                assert_eq!(
+                    reg.counter_value(
+                        "sim_cache_accesses_total",
+                        &[("cache", cache), ("outcome", outcome)],
+                    ),
+                    Some(expected),
+                    "{cache}/{outcome}"
+                );
+            }
+        }
+
+        // Every restore of a previously-run process shows up in the trace.
+        let tracer = tel.tracer().unwrap();
+        let saves = tracer
+            .records()
+            .iter()
+            .filter(|e| matches!(e.event, TraceEvent::SwitchSave { .. }))
+            .count() as u64;
+        let restores = tracer
+            .records()
+            .iter()
+            .filter(|e| matches!(e.event, TraceEvent::SwitchRestore { .. }))
+            .count() as u64;
+        assert_eq!(
+            reg.counter_value("os_snapshot_saves_total", &[]),
+            Some(saves)
+        );
+        assert_eq!(restores, r.context_switches);
+
+        // The profiler accounts one compute cycle per retired instruction
+        // and every charged switch cycle.
+        let prof = tel.profiler().unwrap();
+        let compute: u64 = (0..r.processes.len() as u32)
+            .map(|pid| prof.process_cycles(pid).get(Phase::Compute))
+            .sum();
+        assert_eq!(compute, r.total_instructions);
+        assert_eq!(
+            prof.context_cycles(0).get(Phase::SwitchCost),
+            r.switch_cycles
+        );
     }
 }

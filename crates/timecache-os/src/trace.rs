@@ -183,7 +183,9 @@ impl<P: Program> Program for Recorder<P> {
 
 impl<P: std::fmt::Debug> std::fmt::Debug for Recorder<P> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Recorder").field("inner", &self.inner).finish()
+        f.debug_struct("Recorder")
+            .field("inner", &self.inner)
+            .finish()
     }
 }
 
@@ -231,7 +233,10 @@ mod tests {
     #[test]
     fn text_roundtrip_covers_every_op() {
         let mut t = Trace::new();
-        t.push(Op::Instr { pc: 0x10, data: None });
+        t.push(Op::Instr {
+            pc: 0x10,
+            data: None,
+        });
         t.push(Op::Instr {
             pc: 0x20,
             data: Some((DataKind::Load, 0xABC)),
@@ -258,8 +263,12 @@ mod tests {
 
     #[test]
     fn parser_reports_bad_lines() {
-        assert!(Trace::from_text("X 10").unwrap_err().contains("unknown tag"));
-        assert!(Trace::from_text("L 10").unwrap_err().contains("missing addr"));
+        assert!(Trace::from_text("X 10")
+            .unwrap_err()
+            .contains("unknown tag"));
+        assert!(Trace::from_text("L 10")
+            .unwrap_err()
+            .contains("missing addr"));
         assert!(Trace::from_text("L zz 10").unwrap_err().contains("bad pc"));
     }
 

@@ -185,7 +185,12 @@ impl Vm {
     /// # Panics
     ///
     /// Panics on an unmapped address (the simulated process would fault).
-    pub fn translate(&self, space: VmId, vaddr: Addr, is_write: bool) -> (Addr, Option<(Addr, Addr)>) {
+    pub fn translate(
+        &self,
+        space: VmId,
+        vaddr: Addr,
+        is_write: bool,
+    ) -> (Addr, Option<(Addr, Addr)>) {
         let mut st = self.state.borrow_mut();
         let vpage = vaddr & !(PAGE_SIZE - 1);
         let offset = vaddr & (PAGE_SIZE - 1);
@@ -316,7 +321,9 @@ impl<P: Program> Program for VmProgram<P> {
 
 impl<P: fmt::Debug> fmt::Debug for VmProgram<P> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("VmProgram").field("inner", &self.inner).finish()
+        f.debug_struct("VmProgram")
+            .field("inner", &self.inner)
+            .finish()
     }
 }
 
@@ -451,12 +458,24 @@ mod tests {
         assert_eq!(ops.len(), 129, "{}", ops.len());
         let stores = ops
             .iter()
-            .filter(|op| matches!(op, Op::Instr { data: Some((DataKind::Store, _)), .. }))
+            .filter(|op| {
+                matches!(
+                    op,
+                    Op::Instr {
+                        data: Some((DataKind::Store, _)),
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(stores, 65);
         // The final op is the faulting store, landed on the *new* page.
         let last = ops.last().unwrap();
-        if let Op::Instr { data: Some((DataKind::Store, addr)), .. } = last {
+        if let Op::Instr {
+            data: Some((DataKind::Store, addr)),
+            ..
+        } = last
+        {
             let (expected, _) = vm.translate(child, 0x4010, false);
             assert_eq!(*addr, expected);
         } else {

@@ -213,8 +213,10 @@ mod tests {
 
     #[test]
     fn rejects_mismatched_line_sizes() {
-        let mut c = HierarchyConfig::default();
-        c.l1d = CacheConfig::new(32 * 1024, 8, 32);
+        let c = HierarchyConfig {
+            l1d: CacheConfig::new(32 * 1024, 8, 32),
+            ..HierarchyConfig::default()
+        };
         let err = c.validate().unwrap_err();
         assert!(err.to_string().contains("line size"));
     }

@@ -36,7 +36,7 @@ impl CacheGeometry {
         );
         assert!(ways > 0, "cache must have at least one way");
         assert!(
-            size_bytes % (ways as u64 * line_size) == 0,
+            size_bytes.is_multiple_of(ways as u64 * line_size),
             "size {size_bytes} is not a multiple of ways*line_size"
         );
         let sets = size_bytes / (ways as u64 * line_size);

@@ -29,6 +29,7 @@ use crate::cache::Cache;
 use crate::config::{ConfigError, HierarchyConfig, SecurityMode};
 use crate::stats::HierarchyStats;
 use timecache_core::{Snapshot, TimeCacheConfig, Visibility};
+use timecache_telemetry::{AccessOp, Counter, Histogram, ServedBy, Telemetry, TraceEvent};
 
 /// The kind of memory access a core performs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -134,6 +135,155 @@ struct DirEntry {
     dirty_owner: Option<usize>,
 }
 
+/// A cache level as telemetry identifies it (label values and event names).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CacheKind {
+    L1I,
+    L1D,
+    Llc,
+}
+
+impl CacheKind {
+    fn of(kind: AccessKind) -> CacheKind {
+        match kind {
+            AccessKind::IFetch => CacheKind::L1I,
+            AccessKind::Load | AccessKind::Store => CacheKind::L1D,
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            CacheKind::L1I => 0,
+            CacheKind::L1D => 1,
+            CacheKind::Llc => 2,
+        }
+    }
+
+    /// Event-facing cache name, matching [`Cache::name`].
+    fn event_name(self) -> &'static str {
+        match self {
+            CacheKind::L1I => "L1I",
+            CacheKind::L1D => "L1D",
+            CacheKind::Llc => "LLC",
+        }
+    }
+}
+
+/// Pre-created telemetry handles for the hierarchy's hot path. Every
+/// counter/histogram is resolved once at attach time, so instrumentation
+/// during simulation is plain unsynchronized adds into the shared cells and
+/// ring — no lookups, no heap allocation.
+#[derive(Debug, Clone)]
+struct SimSensors {
+    tel: Telemetry,
+    /// `outcome[cache][o]` with `o` ∈ {hit, first_access, miss}; cache
+    /// order per [`CacheKind::index`].
+    outcome: [[Counter; 3]; 3],
+    /// Per-`served_by` access-latency histograms (l1, llc, remote_l1,
+    /// memory).
+    latency: [Histogram; 4],
+    /// `events[cache][e]` with `e` ∈ {eviction, invalidation, writeback}.
+    events: [[Counter; 3]; 3],
+    restores: Counter,
+    comparator_cycles: Counter,
+    transfer_lines: Counter,
+    sbits_reset: Counter,
+    rollovers: Counter,
+    clflushes: Counter,
+}
+
+impl SimSensors {
+    /// Creates the sensor block, or `None` when telemetry is disabled.
+    fn create(tel: &Telemetry) -> Option<Box<SimSensors>> {
+        let reg = tel.registry()?;
+        const CACHES: [&str; 3] = ["l1i", "l1d", "llc"];
+        const OUTCOMES: [&str; 3] = ["hit", "first_access", "miss"];
+        const EVENTS: [&str; 3] = ["eviction", "invalidation", "writeback"];
+        let outcome = CACHES.map(|c| {
+            OUTCOMES.map(|o| {
+                reg.counter(
+                    "sim_cache_accesses_total",
+                    "Cache accesses by level and outcome (hit / first_access / miss), \
+                     summed over cores.",
+                    &[("cache", c), ("outcome", o)],
+                )
+            })
+        });
+        let latency = [
+            ServedBy::L1,
+            ServedBy::Llc,
+            ServedBy::RemoteL1,
+            ServedBy::Memory,
+        ]
+        .map(|sb| {
+            reg.histogram(
+                "sim_access_latency_cycles",
+                "Observed access latency in cycles by servicing component.",
+                &[("served_by", sb.as_str())],
+            )
+        });
+        let events = CACHES.map(|c| {
+            EVENTS.map(|e| {
+                reg.counter(
+                    "sim_cache_line_events_total",
+                    "Cache line lifecycle events (eviction / invalidation / writeback) \
+                     by level, summed over cores.",
+                    &[("cache", c), ("event", e)],
+                )
+            })
+        });
+        Some(Box::new(SimSensors {
+            tel: tel.clone(),
+            outcome,
+            latency,
+            events,
+            restores: reg.counter(
+                "sim_switch_restores_total",
+                "Context restores performed by the hierarchy.",
+                &[],
+            ),
+            comparator_cycles: reg.counter(
+                "sim_switch_comparator_cycles_total",
+                "Bit-serial comparator cycles accumulated across restores.",
+                &[],
+            ),
+            transfer_lines: reg.counter(
+                "sim_switch_transfer_lines_total",
+                "64-byte s-bit snapshot transfers accumulated across restores.",
+                &[],
+            ),
+            sbits_reset: reg.counter(
+                "sim_switch_sbits_reset_total",
+                "s-bits reset by comparator sweeps across restores.",
+                &[],
+            ),
+            rollovers: reg.counter(
+                "sim_switch_rollovers_total",
+                "Restores that detected timestamp rollover.",
+                &[],
+            ),
+            clflushes: reg.counter("sim_clflush_total", "clflush instructions executed.", &[]),
+        }))
+    }
+}
+
+fn op_of(kind: AccessKind) -> AccessOp {
+    match kind {
+        AccessKind::IFetch => AccessOp::IFetch,
+        AccessKind::Load => AccessOp::Load,
+        AccessKind::Store => AccessOp::Store,
+    }
+}
+
+fn served_of(level: Level) -> ServedBy {
+    match level {
+        Level::L1 => ServedBy::L1,
+        Level::LLC => ServedBy::Llc,
+        Level::RemoteL1 => ServedBy::RemoteL1,
+        Level::Memory => ServedBy::Memory,
+    }
+}
+
 /// The full memory hierarchy.
 ///
 /// See the [crate docs](crate) for a usage example.
@@ -146,6 +296,9 @@ pub struct Hierarchy {
     /// Directory, indexed by LLC flat line index.
     dir: Vec<DirEntry>,
     tc_cfg: Option<TimeCacheConfig>,
+    /// Telemetry sensors; `None` (the default) keeps the hot path free of
+    /// any instrumentation work beyond this one branch.
+    sensors: Option<Box<SimSensors>>,
 }
 
 impl Hierarchy {
@@ -184,7 +337,19 @@ impl Hierarchy {
             llc,
             dir,
             tc_cfg,
+            sensors: None,
         })
+    }
+
+    /// Attaches a [`Telemetry`] handle. When `tel` is enabled, the
+    /// hierarchy reports per-level access-outcome counters, per-component
+    /// latency histograms, line lifecycle events, and switch-cost totals
+    /// through it. Attaching a disabled handle detaches instrumentation.
+    ///
+    /// All metric handles are resolved here, once — after this call the
+    /// access hot path performs no allocation or registry lookups.
+    pub fn attach_telemetry(&mut self, tel: &Telemetry) {
+        self.sensors = SimSensors::create(tel);
     }
 
     /// The configuration the hierarchy was built with.
@@ -237,6 +402,30 @@ impl Hierarchy {
     ) -> AccessOutcome {
         self.check_context(core, thread);
         let line = LineAddr::from_addr(addr, self.line_size());
+        if let Some(s) = &self.sensors {
+            // Announce the clock so events emitted from clock-less inner
+            // paths (evictions, write-backs) carry the access cycle.
+            s.tel.set_now(now);
+        }
+        let out = self.access_inner(core, thread, kind, line, now);
+        if self.sensors.is_some() {
+            self.note_access(core, thread, kind, line, &out);
+        }
+        out
+    }
+
+    /// The uninstrumented access path; every hit/miss/first-access
+    /// classification a telemetry counter needs is reconstructible from the
+    /// returned [`AccessOutcome`], which keeps counter derivation at a
+    /// single choke point in [`Hierarchy::note_access`].
+    fn access_inner(
+        &mut self,
+        core: usize,
+        thread: usize,
+        kind: AccessKind,
+        line: LineAddr,
+        now: u64,
+    ) -> AccessOutcome {
         let lat = self.cfg.latencies;
 
         let l1 = self.l1_mut(core, kind);
@@ -341,21 +530,32 @@ impl Hierarchy {
     /// is constant under the Section VII-C mitigation.
     pub fn clflush(&mut self, addr: Addr) -> u64 {
         let line = LineAddr::from_addr(addr, self.line_size());
+        if let Some(s) = &self.sensors {
+            s.clflushes.inc();
+        }
         let mut present = false;
         for core in 0..self.cfg.cores {
-            present |= self.l1i[core].invalidate(line).is_some();
+            if let Some(dirty) = self.l1i[core].invalidate(line) {
+                present = true;
+                self.note_invalidation(CacheKind::L1I, line, dirty);
+            }
             if let Some(dirty) = self.l1d[core].invalidate(line) {
                 present = true;
+                self.note_invalidation(CacheKind::L1D, line, dirty);
                 if dirty {
                     self.l1d[core].stats_mut().writebacks += 1;
+                    self.note_writeback(CacheKind::L1D, line);
                 }
             }
         }
         if let Some(hit) = self.llc.lookup(line) {
             present = true;
             self.dir[hit.flat] = DirEntry::default();
-            if self.llc.invalidate(line) == Some(true) {
+            let dirty = self.llc.invalidate(line) == Some(true);
+            self.note_invalidation(CacheKind::Llc, line, dirty);
+            if dirty {
                 self.llc.stats_mut().writebacks += 1;
+                self.note_writeback(CacheKind::Llc, line);
             }
         }
         let constant_time = self
@@ -426,6 +626,16 @@ impl Hierarchy {
                 cost.sbits_reset += out.sbits_reset as u64;
             }
         }
+        if let Some(s) = &self.sensors {
+            s.tel.set_now(now);
+            s.restores.inc();
+            s.comparator_cycles.add(cost.comparator_cycles);
+            s.transfer_lines.add(cost.transfer_lines);
+            s.sbits_reset.add(cost.sbits_reset);
+            if cost.rollover {
+                s.rollovers.inc();
+            }
+        }
         cost
     }
 
@@ -464,6 +674,105 @@ impl Hierarchy {
     // ------------------------------------------------------------------
     // Internals
     // ------------------------------------------------------------------
+
+    /// The single choke point deriving telemetry counters from an access
+    /// outcome. The mapping mirrors exactly how [`Hierarchy::access_inner`]
+    /// attributes [`CacheStats`](crate::stats::CacheStats):
+    ///
+    /// * L1 (of the access kind): `first_access` iff `first_access_l1`,
+    ///   `hit` iff tag hit without a first access, `miss` otherwise.
+    /// * LLC: consulted unless the access was a pure L1 hit; then
+    ///   `first_access` iff `first_access_llc`, `miss` iff the L1 also
+    ///   missed and memory serviced it, `hit` otherwise (including
+    ///   remote-L1 forwarding and the forced-DRAM mitigation path).
+    fn note_access(
+        &self,
+        core: usize,
+        thread: usize,
+        kind: AccessKind,
+        line: LineAddr,
+        out: &AccessOutcome,
+    ) {
+        let s = self.sensors.as_ref().expect("checked by caller");
+        let l1 = CacheKind::of(kind).index();
+        let l1_outcome = if out.first_access_l1 {
+            1
+        } else if out.l1_tag_hit {
+            0
+        } else {
+            2
+        };
+        s.outcome[l1][l1_outcome].inc();
+
+        let pure_l1_hit = out.l1_tag_hit && !out.first_access_l1;
+        if !pure_l1_hit {
+            let llc_outcome = if out.first_access_llc {
+                1
+            } else if !out.l1_tag_hit && out.served_by == Level::Memory {
+                2
+            } else {
+                0
+            };
+            s.outcome[CacheKind::Llc.index()][llc_outcome].inc();
+        }
+
+        let served = served_of(out.served_by);
+        let served_idx = match served {
+            ServedBy::L1 => 0,
+            ServedBy::Llc => 1,
+            ServedBy::RemoteL1 => 2,
+            ServedBy::Memory => 3,
+        };
+        s.latency[served_idx].observe(out.latency);
+
+        s.tel.emit(TraceEvent::Access {
+            core: core as u32,
+            thread: thread as u32,
+            op: op_of(kind),
+            served_by: served,
+            latency: out.latency,
+            l1_tag_hit: out.l1_tag_hit,
+            first_access_l1: out.first_access_l1,
+            first_access_llc: out.first_access_llc,
+            line: line.raw(),
+        });
+    }
+
+    /// Records a replacement eviction (event + counter). No-op when
+    /// telemetry is detached.
+    fn note_eviction(&self, cache: CacheKind, line: LineAddr, dirty: bool) {
+        if let Some(s) = &self.sensors {
+            s.events[cache.index()][0].inc();
+            s.tel.emit(TraceEvent::Eviction {
+                cache: cache.event_name(),
+                line: line.raw(),
+                dirty,
+            });
+        }
+    }
+
+    /// Records an invalidation (coherence / back-invalidation / clflush).
+    fn note_invalidation(&self, cache: CacheKind, line: LineAddr, dirty: bool) {
+        if let Some(s) = &self.sensors {
+            s.events[cache.index()][1].inc();
+            s.tel.emit(TraceEvent::Invalidation {
+                cache: cache.event_name(),
+                line: line.raw(),
+                dirty,
+            });
+        }
+    }
+
+    /// Records a dirty-line write-back.
+    fn note_writeback(&self, cache: CacheKind, line: LineAddr) {
+        if let Some(s) = &self.sensors {
+            s.events[cache.index()][2].inc();
+            s.tel.emit(TraceEvent::Writeback {
+                cache: cache.event_name(),
+                line: line.raw(),
+            });
+        }
+    }
 
     fn l1_mut(&mut self, core: usize, kind: AccessKind) -> &mut Cache {
         match kind {
@@ -508,6 +817,7 @@ impl Hierarchy {
     /// the victim and directory setup.
     fn fill_llc(&mut self, line: LineAddr, llc_ctx: usize, now: u64) {
         if let Some(victim) = self.llc.fill(line, llc_ctx, now) {
+            self.note_eviction(CacheKind::Llc, victim.line, victim.dirty);
             // Inclusive LLC: evicting a line removes it from all L1s.
             let victim_entry = {
                 let hit = self.llc.lookup(line).expect("line just filled");
@@ -517,16 +827,23 @@ impl Hierarchy {
             };
             for core in 0..self.cfg.cores {
                 if victim_entry.sharers >> core & 1 == 1 {
-                    self.l1i[core].invalidate(victim.line);
-                    if self.l1d[core].invalidate(victim.line) == Some(true) {
-                        // Dirty L1 copy of a dying LLC line: straight to
-                        // memory.
-                        self.l1d[core].stats_mut().writebacks += 1;
+                    if let Some(dirty) = self.l1i[core].invalidate(victim.line) {
+                        self.note_invalidation(CacheKind::L1I, victim.line, dirty);
+                    }
+                    if let Some(dirty) = self.l1d[core].invalidate(victim.line) {
+                        self.note_invalidation(CacheKind::L1D, victim.line, dirty);
+                        if dirty {
+                            // Dirty L1 copy of a dying LLC line: straight to
+                            // memory.
+                            self.l1d[core].stats_mut().writebacks += 1;
+                            self.note_writeback(CacheKind::L1D, victim.line);
+                        }
                     }
                 }
             }
             if victim.dirty {
                 self.llc.stats_mut().writebacks += 1;
+                self.note_writeback(CacheKind::Llc, victim.line);
             }
         } else {
             // Even without a victim the slot's directory entry may be stale
@@ -541,9 +858,11 @@ impl Hierarchy {
     fn fill_l1(&mut self, core: usize, thread: usize, kind: AccessKind, line: LineAddr, now: u64) {
         let victim = self.l1_mut(core, kind).fill(line, thread, now);
         if let Some(v) = victim {
+            self.note_eviction(CacheKind::of(kind), v.line, v.dirty);
             if v.dirty {
                 // Write back to the LLC (present by inclusivity).
                 self.l1_mut(core, kind).stats_mut().writebacks += 1;
+                self.note_writeback(CacheKind::of(kind), v.line);
                 if let Some(hit) = self.llc.lookup(v.line) {
                     self.llc.set_dirty(hit, true);
                     if self.dir[hit.flat].dirty_owner == Some(core) {
@@ -568,11 +887,18 @@ impl Hierarchy {
             let entry = self.dir[hit.flat];
             for other in 0..self.cfg.cores {
                 if other != core && entry.sharers >> other & 1 == 1 {
-                    self.l1i[other].invalidate(line);
-                    if self.l1d[other].invalidate(line) == Some(true) {
-                        // Remote dirty copy written back before we overwrite.
-                        self.l1d[other].stats_mut().writebacks += 1;
-                        self.llc.set_dirty(hit, true);
+                    if let Some(dirty) = self.l1i[other].invalidate(line) {
+                        self.note_invalidation(CacheKind::L1I, line, dirty);
+                    }
+                    if let Some(dirty) = self.l1d[other].invalidate(line) {
+                        self.note_invalidation(CacheKind::L1D, line, dirty);
+                        if dirty {
+                            // Remote dirty copy written back before we
+                            // overwrite.
+                            self.l1d[other].stats_mut().writebacks += 1;
+                            self.note_writeback(CacheKind::L1D, line);
+                            self.llc.set_dirty(hit, true);
+                        }
                     }
                 }
             }
@@ -588,6 +914,7 @@ impl Hierarchy {
             if self.l1d[owner].is_dirty(hit) {
                 self.l1d[owner].set_dirty(hit, false);
                 self.l1d[owner].stats_mut().writebacks += 1;
+                self.note_writeback(CacheKind::L1D, line);
             }
         }
         if let Some(hit) = self.llc.lookup(line) {
@@ -724,12 +1051,14 @@ mod tests {
         h.access(0, 0, AccessKind::Load, 0x6000, 0);
         let first = h.clflush(0x6000);
         let second = h.clflush(0x6000); // line gone: aborts early
-        assert!(second < first, "flush+flush channel should exist in baseline");
+        assert!(
+            second < first,
+            "flush+flush channel should exist in baseline"
+        );
 
         let mut cfg = HierarchyConfig::with_cores(1);
-        cfg.security = SecurityMode::TimeCache(
-            TimeCacheConfig::default().with_constant_time_clflush(true),
-        );
+        cfg.security =
+            SecurityMode::TimeCache(TimeCacheConfig::default().with_constant_time_clflush(true));
         let mut h = Hierarchy::new(cfg).unwrap();
         h.access(0, 0, AccessKind::Load, 0x6000, 0);
         assert_eq!(h.clflush(0x6000), h.clflush(0x6000));
@@ -762,9 +1091,8 @@ mod tests {
     #[test]
     fn dram_wait_mitigation_hides_remote_timing() {
         let mut cfg = HierarchyConfig::with_cores(2);
-        cfg.security = SecurityMode::TimeCache(
-            TimeCacheConfig::default().with_dram_wait_on_remote_hit(true),
-        );
+        cfg.security =
+            SecurityMode::TimeCache(TimeCacheConfig::default().with_dram_wait_on_remote_hit(true));
         let mut h = Hierarchy::new(cfg).unwrap();
         h.access(0, 0, AccessKind::Store, 0x8000, 0);
         // Core 1's first access must observe DRAM latency even though a
@@ -838,10 +1166,12 @@ mod tests {
     #[test]
     fn inclusive_llc_eviction_back_invalidates_l1() {
         // Tiny hierarchy: LLC with 1-way sets so evictions are easy to force.
-        let mut cfg = HierarchyConfig::default();
-        cfg.l1i = crate::config::CacheConfig::new(256, 1, 64);
-        cfg.l1d = crate::config::CacheConfig::new(256, 1, 64);
-        cfg.llc = crate::config::CacheConfig::new(1024, 1, 64);
+        let cfg = HierarchyConfig {
+            l1i: crate::config::CacheConfig::new(256, 1, 64),
+            l1d: crate::config::CacheConfig::new(256, 1, 64),
+            llc: crate::config::CacheConfig::new(1024, 1, 64),
+            ..HierarchyConfig::default()
+        };
         let mut h = Hierarchy::new(cfg).unwrap();
 
         // 0x0 and 0x400 collide in the 16-set... (1024/64 = 16 sets) —

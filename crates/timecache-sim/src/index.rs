@@ -9,9 +9,10 @@
 use crate::addr::LineAddr;
 
 /// How a cache maps line addresses to sets.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
 pub enum IndexFn {
     /// Low-order line-address bits, the conventional layout.
+    #[default]
     Modulo,
     /// CEASER-like keyed index (Qureshi, MICRO 2018): the line address is
     /// passed through a keyed permutation before the modulo, randomizing
@@ -22,12 +23,6 @@ pub enum IndexFn {
         /// The cipher key; change it to remap the cache.
         key: u64,
     },
-}
-
-impl Default for IndexFn {
-    fn default() -> Self {
-        IndexFn::Modulo
-    }
 }
 
 impl IndexFn {

@@ -52,7 +52,7 @@ impl Drrip {
     fn role(&self, set: u64) -> SetRole {
         // Spread the leader sets through the index space.
         let stride = (self.sets / (2 * LEADERS)).max(1);
-        if set % stride == 0 {
+        if set.is_multiple_of(stride) {
             let leader = set / stride;
             if leader < LEADERS {
                 return SetRole::LeaderSrrip;
@@ -89,7 +89,7 @@ impl Drrip {
             LONG
         } else {
             self.brrip_fills = self.brrip_fills.wrapping_add(1);
-            if self.brrip_fills % BRRIP_LONG_PERIOD == 0 {
+            if self.brrip_fills.is_multiple_of(BRRIP_LONG_PERIOD) {
                 LONG
             } else {
                 DISTANT
@@ -150,12 +150,12 @@ mod tests {
         let set = 33;
         let mut longs = 0;
         for i in 0..(2 * BRRIP_LONG_PERIOD) {
-            d.on_fill(set, (i % 4) as u32);
+            d.on_fill(set, i % 4);
             if d.rrpv[(set * 4 + (i % 4) as u64) as usize] == LONG {
                 longs += 1;
             }
         }
-        assert!(longs >= 1 && longs <= 4, "longs {longs}");
+        assert!((1..=4).contains(&longs), "longs {longs}");
     }
 
     #[test]

@@ -171,6 +171,53 @@ mod tests {
     }
 
     #[test]
+    fn add_and_add_assign_agree() {
+        let a = CacheStats {
+            accesses: 9,
+            hits: 8,
+            misses: 1,
+            first_access: 0,
+            evictions: 2,
+            invalidations: 1,
+            writebacks: 3,
+        };
+        let b = CacheStats {
+            accesses: 4,
+            hits: 1,
+            misses: 2,
+            first_access: 1,
+            evictions: 0,
+            invalidations: 5,
+            writebacks: 1,
+        };
+        let mut assigned = a;
+        assigned += b;
+        assert_eq!(a + b, assigned);
+        assert_eq!(b + a, assigned, "addition is commutative");
+        assert_eq!(
+            assigned.total_miss_like(),
+            a.total_miss_like() + b.total_miss_like()
+        );
+    }
+
+    #[test]
+    fn zero_denominators_yield_zero_rates() {
+        let s = CacheStats {
+            misses: 3,
+            first_access: 7,
+            ..CacheStats::default()
+        };
+        assert_eq!(s.total_miss_like(), 10);
+        // Zero instructions: every per-kilo rate is defined as zero.
+        assert_eq!(s.mpki(0), 0.0);
+        assert_eq!(s.first_access_mpki(0), 0.0);
+        assert_eq!(s.true_miss_mpki(0), 0.0);
+        // Zero accesses: hit rate is defined as zero, not NaN.
+        assert_eq!(s.hit_rate(), 0.0);
+        assert!(!CacheStats::default().hit_rate().is_nan());
+    }
+
+    #[test]
     fn add_accumulates_fieldwise() {
         let a = CacheStats {
             accesses: 1,

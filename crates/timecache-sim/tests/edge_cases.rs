@@ -4,8 +4,8 @@
 
 use timecache_core::TimeCacheConfig;
 use timecache_sim::{
-    AccessKind, CacheConfig, Hierarchy, HierarchyConfig, IndexFn, Level, LineAddr,
-    ReplacementKind, SecurityMode,
+    AccessKind, CacheConfig, Hierarchy, HierarchyConfig, IndexFn, Level, LineAddr, ReplacementKind,
+    SecurityMode,
 };
 
 fn small(security: SecurityMode, cores: usize) -> HierarchyConfig {
@@ -161,7 +161,7 @@ fn first_access_still_counts_when_llc_visible() {
     h.access(0, 0, AccessKind::Load, 0x9000 + 3 * set_stride, 4);
     // 8-way L1: keep pushing to guarantee eviction of 0x9000.
     for i in 4..12u64 {
-        h.access(0, 0, AccessKind::Load, 0x9000 + i * set_stride as u64, 4 + i);
+        h.access(0, 0, AccessKind::Load, 0x9000 + i * set_stride, 4 + i);
     }
     assert!(h.l1d(0).lookup(LineAddr::from_addr(0x9000, 64)).is_none());
     let back = h.access(0, 0, AccessKind::Load, 0x9000, 100);

@@ -66,7 +66,7 @@ fn ftm_leaves_l1_unprotected_after_llc_first_access() {
     let mut h = ftm(2, 1);
     h.access(0, 0, AccessKind::Load, 0x7000, 0); // victim caches line
     h.access(1, 0, AccessKind::Load, 0x7000, 10); // some process pays FA
-    // A *different* process is scheduled on core 1 (context switch):
+                                                  // A *different* process is scheduled on core 1 (context switch):
     h.restore_context(1, 0, None, 20);
     let spy = h.access(1, 0, AccessKind::Load, 0x7000, 30);
     assert_eq!(

@@ -8,8 +8,7 @@ use timecache_sim::{AccessKind, Hierarchy, HierarchyConfig, Level, SecurityMode}
 
 fn hierarchy(k: usize, cores: usize) -> Hierarchy {
     let mut cfg = HierarchyConfig::with_cores(cores);
-    cfg.security =
-        SecurityMode::TimeCache(TimeCacheConfig::default().with_limited_pointers(k));
+    cfg.security = SecurityMode::TimeCache(TimeCacheConfig::default().with_limited_pointers(k));
     Hierarchy::new(cfg).unwrap()
 }
 
@@ -30,7 +29,10 @@ fn context_switch_isolation_still_holds() {
     let _a = h.save_context(0, 0, 100);
     h.restore_context(0, 0, None, 100);
     let spy = h.access(0, 0, AccessKind::Load, 0x5000, 200);
-    assert!(spy.first_access_l1, "new process must not inherit visibility");
+    assert!(
+        spy.first_access_l1,
+        "new process must not inherit visibility"
+    );
 }
 
 #[test]

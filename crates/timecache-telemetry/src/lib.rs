@@ -1,0 +1,218 @@
+//! # timecache-telemetry
+//!
+//! Zero-dependency observability spine for the TimeCache reproduction:
+//!
+//! * a [`Registry`] of labeled counters, gauges, and log-bucketed latency
+//!   [`Histogram`]s with Prometheus-text and JSON exposition;
+//! * a bounded, typed event [`Tracer`] (ring buffer + JSONL export) whose
+//!   monotonic sequence numbers make traces record/replay-friendly;
+//! * a [`Profiler`] attributing simulated cycles to phases (compute,
+//!   memory stall, switch cost) per process and per hardware context;
+//! * the [`Telemetry`] handle that bundles all three and is cheap to pass
+//!   everywhere: when disabled it is a `None` and every instrumentation
+//!   site short-circuits without touching the heap.
+//!
+//! The simulator crates (`timecache-sim`, `timecache-os`,
+//! `timecache-attacks`, `timecache-bench`) all take a [`Telemetry`] and
+//! report through it; the bench harness snapshots the registry and trace
+//! into `results/` next to each experiment's CSV.
+//!
+//! # Quick start
+//!
+//! ```
+//! use timecache_telemetry::{Telemetry, TraceEvent, Phase, Scope};
+//!
+//! let tel = Telemetry::enabled();
+//! if let Some(reg) = tel.registry() {
+//!     reg.counter("events_total", "Total events.", &[]).inc();
+//! }
+//! tel.set_now(100);
+//! tel.emit(TraceEvent::Probe { attack: "demo", latency: 2, hit: true });
+//! if let Some(p) = tel.profiler() {
+//!     p.record(Scope::Process(0), Phase::Compute, 42);
+//! }
+//!
+//! let prom = tel.registry().unwrap().render_prometheus();
+//! assert!(prom.contains("events_total 1"));
+//! assert_eq!(tel.tracer().unwrap().len(), 1);
+//!
+//! // Disabled telemetry: every call is a cheap no-op.
+//! let off = Telemetry::disabled();
+//! off.emit(TraceEvent::Probe { attack: "demo", latency: 2, hit: true });
+//! assert!(off.registry().is_none());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod encode;
+pub mod profile;
+pub mod registry;
+pub mod trace;
+
+pub use profile::{Phase, PhaseCycles, Profiler, Scope, Span};
+pub use registry::{Counter, Gauge, Histogram, Registry, HISTOGRAM_BUCKETS};
+pub use trace::{AccessOp, EventRecord, ServedBy, TraceEvent, Tracer};
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// Default event-ring capacity for [`Telemetry::enabled`].
+pub const DEFAULT_TRACE_CAPACITY: usize = 65_536;
+
+#[derive(Debug)]
+struct TelemetryInner {
+    registry: Registry,
+    tracer: Tracer,
+    profiler: Profiler,
+    /// The most recently announced simulated cycle, used to stamp events
+    /// emitted from call sites that have no clock of their own.
+    now: Cell<u64>,
+}
+
+/// The top-level telemetry handle.
+///
+/// Cloning is cheap and shares the underlying sinks. The default handle is
+/// *disabled*: instrumentation sites check [`Telemetry::is_enabled`] (or
+/// get `None` from the accessors) and skip all work, keeping the simulator
+/// hot path allocation-free and branch-cheap.
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    inner: Option<Rc<TelemetryInner>>,
+}
+
+impl Telemetry {
+    /// A disabled handle: all operations are no-ops.
+    pub fn disabled() -> Self {
+        Telemetry::default()
+    }
+
+    /// An enabled handle with the default trace capacity.
+    pub fn enabled() -> Self {
+        Telemetry::with_trace_capacity(DEFAULT_TRACE_CAPACITY)
+    }
+
+    /// An enabled handle retaining at most `capacity` trace events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_trace_capacity(capacity: usize) -> Self {
+        Telemetry {
+            inner: Some(Rc::new(TelemetryInner {
+                registry: Registry::new(),
+                tracer: Tracer::with_capacity(capacity),
+                profiler: Profiler::new(),
+                now: Cell::new(0),
+            })),
+        }
+    }
+
+    /// Whether this handle records anything.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The metrics registry, if enabled.
+    #[inline]
+    pub fn registry(&self) -> Option<&Registry> {
+        self.inner.as_deref().map(|i| &i.registry)
+    }
+
+    /// The event tracer, if enabled.
+    #[inline]
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.inner.as_deref().map(|i| &i.tracer)
+    }
+
+    /// The phase profiler, if enabled.
+    #[inline]
+    pub fn profiler(&self) -> Option<&Profiler> {
+        self.inner.as_deref().map(|i| &i.profiler)
+    }
+
+    /// Announces the current simulated cycle. Instrumented components call
+    /// this as their clock advances so events emitted from clock-less call
+    /// sites (e.g. `clflush`) still carry a meaningful time.
+    #[inline]
+    pub fn set_now(&self, cycle: u64) {
+        if let Some(inner) = &self.inner {
+            inner.now.set(cycle);
+        }
+    }
+
+    /// The most recently announced simulated cycle (0 when disabled).
+    #[inline]
+    pub fn now(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| i.now.get())
+    }
+
+    /// Records `event` at the last announced cycle. No-op when disabled.
+    #[inline]
+    pub fn emit(&self, event: TraceEvent) {
+        if let Some(inner) = &self.inner {
+            inner.tracer.record(inner.now.get(), event);
+        }
+    }
+
+    /// Records `event` at an explicit cycle. No-op when disabled.
+    #[inline]
+    pub fn emit_at(&self, cycle: u64, event: TraceEvent) {
+        if let Some(inner) = &self.inner {
+            inner.tracer.record(cycle, event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let t = Telemetry::disabled();
+        assert!(!t.is_enabled());
+        assert!(t.registry().is_none());
+        assert!(t.tracer().is_none());
+        assert!(t.profiler().is_none());
+        t.set_now(5);
+        assert_eq!(t.now(), 0);
+        t.emit(TraceEvent::Probe {
+            attack: "x",
+            latency: 1,
+            hit: true,
+        });
+    }
+
+    #[test]
+    fn clones_share_sinks() {
+        let t = Telemetry::enabled();
+        let u = t.clone();
+        t.registry().unwrap().counter("c_total", "c", &[]).inc();
+        assert_eq!(u.registry().unwrap().counter_value("c_total", &[]), Some(1));
+        t.set_now(7);
+        u.emit(TraceEvent::Probe {
+            attack: "x",
+            latency: 1,
+            hit: false,
+        });
+        assert_eq!(t.tracer().unwrap().records()[0].cycle, 7);
+    }
+
+    #[test]
+    fn emit_at_overrides_clock() {
+        let t = Telemetry::with_trace_capacity(4);
+        t.set_now(10);
+        t.emit_at(
+            99,
+            TraceEvent::Probe {
+                attack: "x",
+                latency: 1,
+                hit: true,
+            },
+        );
+        assert_eq!(t.tracer().unwrap().records()[0].cycle, 99);
+        assert_eq!(t.now(), 10);
+    }
+}

@@ -54,6 +54,11 @@ pub fn code_line(base: Addr, i: u64) -> Addr {
     base + i * LINE
 }
 
+// The shared regions are ordered and disjoint by construction; checked at
+// compile time so a layout edit cannot silently overlap them.
+const _: () = assert!(SHARED_SEGMENT < SHARED_LIB_DATA);
+const _: () = assert!(SHARED_LIB_DATA < SHARED_LIB_CODE);
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -65,8 +70,6 @@ mod tests {
         // never collide.
         assert!(private_base(255) + PRIVATE_STRIDE < BENCH_CODE);
         assert!(bench_code_base(255) + BENCH_CODE_STRIDE < SHARED_SEGMENT);
-        assert!(SHARED_SEGMENT < SHARED_LIB_DATA);
-        assert!(SHARED_LIB_DATA < SHARED_LIB_CODE);
     }
 
     #[test]

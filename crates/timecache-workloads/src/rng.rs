@@ -33,7 +33,9 @@ impl FastRng {
         let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        FastRng { state: (z ^ (z >> 31)) | 1 }
+        FastRng {
+            state: (z ^ (z >> 31)) | 1,
+        }
     }
 
     /// The next 64 random bits.

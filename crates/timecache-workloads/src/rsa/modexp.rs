@@ -180,13 +180,19 @@ mod tests {
     fn primitive_stream_encodes_exponent_bits() {
         // Exponent 0b10110: after the MSB, bits 0,1,1,0 produce
         // SR, SRMR, SRMR, SR.
-        let mut m = ModExp::new(Mpi::from_u64(3), Mpi::from_u64(0b10110), Mpi::from_u64(1009));
+        let mut m = ModExp::new(
+            Mpi::from_u64(3),
+            Mpi::from_u64(0b10110),
+            Mpi::from_u64(1009),
+        );
         let ops: Vec<_> = std::iter::from_fn(|| m.step()).collect();
         use PrimitiveOp::*;
         assert_eq!(
             ops,
-            vec![Square, Reduce, Square, Reduce, Multiply, Reduce,
-                 Square, Reduce, Multiply, Reduce, Square, Reduce]
+            vec![
+                Square, Reduce, Square, Reduce, Multiply, Reduce, Square, Reduce, Multiply, Reduce,
+                Square, Reduce
+            ]
         );
         assert!(m.is_done());
     }

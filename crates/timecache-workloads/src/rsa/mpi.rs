@@ -102,7 +102,7 @@ impl Mpi {
     pub fn bit(&self, i: usize) -> bool {
         self.limbs
             .get(i / 32)
-            .map_or(false, |limb| limb >> (i % 32) & 1 == 1)
+            .is_some_and(|limb| limb >> (i % 32) & 1 == 1)
     }
 
     /// The value as a `u64`, if it fits.
@@ -129,8 +129,8 @@ impl Mpi {
         };
         let mut out = Vec::with_capacity(long.len() + 1);
         let mut carry = 0u64;
-        for i in 0..long.len() {
-            let sum = long[i] as u64 + *short.get(i).unwrap_or(&0) as u64 + carry;
+        for (i, &limb) in long.iter().enumerate() {
+            let sum = limb as u64 + *short.get(i).unwrap_or(&0) as u64 + carry;
             out.push(sum as u32);
             carry = sum >> 32;
         }
@@ -268,7 +268,7 @@ impl Mpi {
 
 impl PartialOrd for Mpi {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp_to(other))
+        Some(self.cmp(other))
     }
 }
 

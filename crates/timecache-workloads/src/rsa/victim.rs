@@ -177,11 +177,8 @@ impl RsaVictim {
                     if self.encryptions_left == 0 {
                         self.queue.push_back(Op::Done);
                     } else {
-                        self.exp = ModExp::new(
-                            self.base.clone(),
-                            self.key.clone(),
-                            self.modulus.clone(),
-                        );
+                        self.exp =
+                            ModExp::new(self.base.clone(), self.key.clone(), self.modulus.clone());
                         self.queue.push_back(Op::Yield {
                             pc: self.layout.reduce,
                         });
@@ -300,7 +297,11 @@ mod tests {
     #[test]
     fn code_layout_is_in_shared_library() {
         let l = rsa_code_layout();
-        for op in [PrimitiveOp::Square, PrimitiveOp::Multiply, PrimitiveOp::Reduce] {
+        for op in [
+            PrimitiveOp::Square,
+            PrimitiveOp::Multiply,
+            PrimitiveOp::Reduce,
+        ] {
             assert!(l.probe_addr(op) >= layout::SHARED_LIB_CODE);
         }
         // Routines don't overlap.

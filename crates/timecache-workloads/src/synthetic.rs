@@ -101,7 +101,10 @@ impl SyntheticParams {
             assert!((0.0..=1.0).contains(&v), "{n} must be in [0,1], got {v}");
         }
         assert!(self.fresh_line_per_kinstr >= 0.0, "negative fresh rate");
-        assert!(self.resident_bytes >= layout::LINE, "resident set too small");
+        assert!(
+            self.resident_bytes >= layout::LINE,
+            "resident set too small"
+        );
         assert!(self.code_lines > 0, "need at least one code line");
     }
 }
@@ -229,7 +232,10 @@ impl SyntheticWorkload {
             {
                 let lag = 16 + self.rng.next_below(64);
                 let line = self.fresh_cursor.saturating_sub(lag) % (1 << 24);
-                return Some((DataKind::Load, self.peer_base + 0x8000_0000 + line * layout::LINE));
+                return Some((
+                    DataKind::Load,
+                    self.peer_base + 0x8000_0000 + line * layout::LINE,
+                ));
             }
             let addr = self.private_base + 0x8000_0000 + self.fresh_cursor * layout::LINE;
             // Wrap far beyond any LLC size so lines are effectively never
@@ -237,9 +243,7 @@ impl SyntheticWorkload {
             self.fresh_cursor = (self.fresh_cursor + 1) % (1 << 24);
             return Some((kind, addr));
         }
-        if self.params.shared_data_bytes > 0
-            && self.rng.next_f64() < self.params.shared_data_frac
-        {
+        if self.params.shared_data_bytes > 0 && self.rng.next_f64() < self.params.shared_data_frac {
             let lines = self.params.shared_data_bytes / layout::LINE;
             let line = self.rng.next_below(lines.max(1));
             return Some((kind, layout::SHARED_SEGMENT + line * layout::LINE));
@@ -287,14 +291,22 @@ mod tests {
         let pa = layout::private_base(0);
         let pb = layout::private_base(1);
         for op in collect_ops(&mut a, 2000) {
-            if let Op::Instr { data: Some((_, addr)), .. } = op {
+            if let Op::Instr {
+                data: Some((_, addr)),
+                ..
+            } = op
+            {
                 if addr < layout::SHARED_SEGMENT {
                     assert!((pa..pa + layout::PRIVATE_STRIDE).contains(&addr));
                 }
             }
         }
         for op in collect_ops(&mut b, 2000) {
-            if let Op::Instr { data: Some((_, addr)), .. } = op {
+            if let Op::Instr {
+                data: Some((_, addr)),
+                ..
+            } = op
+            {
                 if addr < layout::SHARED_SEGMENT {
                     assert!((pb..pb + layout::PRIVATE_STRIDE).contains(&addr));
                 }
@@ -314,8 +326,10 @@ mod tests {
 
     #[test]
     fn mem_ratio_controls_data_accesses() {
-        let mut p = SyntheticParams::default();
-        p.mem_ratio = 0.5;
+        let p = SyntheticParams {
+            mem_ratio: 0.5,
+            ..SyntheticParams::default()
+        };
         let mut w = SyntheticWorkload::new(p, 0, 0);
         let n = 20_000;
         let with_data = collect_ops(&mut w, n)
@@ -328,15 +342,19 @@ mod tests {
 
     #[test]
     fn fresh_rate_matches_target() {
-        let mut p = SyntheticParams::default();
-        p.fresh_line_per_kinstr = 20.0;
+        let p = SyntheticParams {
+            fresh_line_per_kinstr: 20.0,
+            ..SyntheticParams::default()
+        };
         let mut w = SyntheticWorkload::new(p, 0, 0);
         let n = 200_000usize;
         let fresh_base = layout::private_base(0) + 0x8000_0000;
         let fresh = collect_ops(&mut w, n)
             .iter()
-            .filter(|op| matches!(op, Op::Instr { data: Some((_, a)), .. }
-                if (fresh_base..fresh_base + (1 << 30)).contains(a)))
+            .filter(|op| {
+                matches!(op, Op::Instr { data: Some((_, a)), .. }
+                if (fresh_base..fresh_base + (1 << 30)).contains(a))
+            })
             .count();
         let per_kinstr = fresh as f64 * 1000.0 / n as f64;
         assert!(
@@ -359,8 +377,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "must be in [0,1]")]
     fn params_validated() {
-        let mut p = SyntheticParams::default();
-        p.mem_ratio = 1.5;
+        let p = SyntheticParams {
+            mem_ratio: 1.5,
+            ..SyntheticParams::default()
+        };
         SyntheticWorkload::new(p, 0, 0);
     }
 }

@@ -62,18 +62,19 @@ fn run(security: SecurityMode) -> (u64, u64, u64) {
     sys.extend_target(b, 2_000_000);
     let report = sys.run(u64::MAX);
     let summary = summarize(&log);
-    (report.total_cycles - warm_cycles, summary.hits, summary.probes)
+    (
+        report.total_cycles - warm_cycles,
+        summary.hits,
+        summary.probes,
+    )
 }
 
 fn main() {
     let (base_cycles, base_hits, base_probes) = run(SecurityMode::Baseline);
-    let (tc_cycles, tc_hits, tc_probes) =
-        run(SecurityMode::TimeCache(TimeCacheConfig::default()));
+    let (tc_cycles, tc_hits, tc_probes) = run(SecurityMode::TimeCache(TimeCacheConfig::default()));
 
     println!("two tenants on one deduplicated image + a flush+reload spy:");
-    println!(
-        "  baseline : spy sees {base_hits}/{base_probes} hits  (tenant activity exposed)"
-    );
+    println!("  baseline : spy sees {base_hits}/{base_probes} hits  (tenant activity exposed)");
     println!("  timecache: spy sees {tc_hits}/{tc_probes} hits");
     println!(
         "  tenant cost of the defense: {:.2}% extra cycles",

@@ -30,7 +30,7 @@ impl Program for Worker {
         let line = self.step % (self.pages * PAGE_SIZE / 64);
         let addr = self.vbase + line * 64;
         self.step += 1;
-        let kind = if self.step % self.write_every == 0 {
+        let kind = if self.step.is_multiple_of(self.write_every) {
             DataKind::Store
         } else {
             DataKind::Load
@@ -69,7 +69,12 @@ fn run(security: SecurityMode) -> (u64, u64, u64) {
 
     sys.spawn(
         Box::new(VmProgram::new(
-            Worker { vbase, pages: 8, step: 0, write_every: 9973 },
+            Worker {
+                vbase,
+                pages: 8,
+                step: 0,
+                write_every: 9973,
+            },
             vm.clone(),
             parent,
         )),
@@ -79,7 +84,12 @@ fn run(security: SecurityMode) -> (u64, u64, u64) {
     );
     sys.spawn(
         Box::new(VmProgram::new(
-            Worker { vbase, pages: 8, step: 1, write_every: 7919 },
+            Worker {
+                vbase,
+                pages: 8,
+                step: 1,
+                write_every: 7919,
+            },
             vm.clone(),
             child,
         )),
@@ -99,7 +109,9 @@ fn main() {
     let (tc_hits, tc_probes, tc_faults) = run(timecache_mode());
 
     println!("parent + forked child on COW pages, flush+reload spy on the shared frames:");
-    println!("  baseline : spy sees {base_hits}/{base_probes} hits; {base_faults} COW faults taken");
+    println!(
+        "  baseline : spy sees {base_hits}/{base_probes} hits; {base_faults} COW faults taken"
+    );
     println!("  timecache: spy sees {tc_hits}/{tc_probes} hits; {tc_faults} COW faults taken");
     println!();
     if base_hits > 0 && tc_hits == 0 && base_faults == tc_faults {

@@ -5,9 +5,9 @@
 //! cargo run --release --example quickstart
 //! ```
 
+use timecache::core::TimeCacheConfig;
 use timecache::os::{programs::StridedLoop, System, SystemConfig};
 use timecache::sim::SecurityMode;
-use timecache::core::TimeCacheConfig;
 
 fn run(security: SecurityMode) -> (u64, u64) {
     let mut cfg = SystemConfig::default(); // Table I hierarchy, 1 ms quanta

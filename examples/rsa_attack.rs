@@ -10,8 +10,8 @@
 //! workspace's from-scratch bignum library; its Square/Multiply/Reduce
 //! routines live in shared-library code lines the attacker probes.
 
-use timecache::attacks::rsa_attack::run_rsa_attack;
 use timecache::attacks::harness::timecache_mode;
+use timecache::attacks::rsa_attack::run_rsa_attack;
 use timecache::sim::SecurityMode;
 use timecache::workloads::rsa::Mpi;
 

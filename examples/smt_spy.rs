@@ -32,7 +32,11 @@ fn run(security: SecurityMode) -> (u64, u64) {
     // Victim on thread 0, spy on thread 1 of the same core: they share the
     // L1I/L1D *and* the LLC at all times.
     sys.spawn(
-        Box::new(SharedWriter::new(layout::SHARED_SEGMENT, lines, layout::LINE)),
+        Box::new(SharedWriter::new(
+            layout::SHARED_SEGMENT,
+            lines,
+            layout::LINE,
+        )),
         0,
         0,
         Some(50_000),

@@ -66,10 +66,7 @@ fn main() {
     // scenario — under both modes: the defense's cost on this *pinned*
     // access stream, with no workload randomness in the comparison.
     let pair_base = run_pair(&trace, SecurityMode::Baseline);
-    let pair_tc = run_pair(
-        &trace,
-        SecurityMode::TimeCache(TimeCacheConfig::default()),
-    );
+    let pair_tc = run_pair(&trace, SecurityMode::TimeCache(TimeCacheConfig::default()));
     println!(
         "2x replay, baseline   : {pair_base} cycles\n2x replay, timecache  : {} cycles (overhead {:+.3}%)",
         pair_tc,
@@ -85,8 +82,5 @@ fn main() {
     let text = trace.to_text();
     let parsed = Trace::from_text(&text).expect("well-formed trace text");
     assert_eq!(parsed, trace);
-    println!(
-        "text round-trip OK ({} KiB serialized)",
-        text.len() / 1024
-    );
+    println!("text round-trip OK ({} KiB serialized)", text.len() / 1024);
 }

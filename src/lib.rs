@@ -14,6 +14,8 @@
 //! * [`workloads`] — synthetic SPEC/PARSEC-like workloads and the RSA
 //!   (square-and-multiply) victim.
 //! * [`attacks`] — reuse/contention attack programs and analysis.
+//! * [`telemetry`] — zero-dependency metrics registry, event tracing, and
+//!   per-phase cycle profiling shared by every layer above.
 //!
 //! See the repository `README.md` for a guided tour and `examples/` for
 //! runnable scenarios.
@@ -22,4 +24,5 @@ pub use timecache_attacks as attacks;
 pub use timecache_core as core;
 pub use timecache_os as os;
 pub use timecache_sim as sim;
+pub use timecache_telemetry as telemetry;
 pub use timecache_workloads as workloads;

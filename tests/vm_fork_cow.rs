@@ -23,7 +23,7 @@ impl Program for PageWalker {
         let lines = self.pages * PAGE_SIZE / 64;
         let addr = self.vbase + (self.step % lines) * 64;
         self.step += 1;
-        let kind = if self.step % 997 == 0 {
+        let kind = if self.step.is_multiple_of(997) {
             DataKind::Store
         } else {
             DataKind::Load
@@ -59,7 +59,11 @@ fn run(security: SecurityMode) -> (u64, u64, u64) {
 
     sys.spawn(
         Box::new(VmProgram::new(
-            PageWalker { vbase, pages: 4, step: 0 },
+            PageWalker {
+                vbase,
+                pages: 4,
+                step: 0,
+            },
             vm.clone(),
             parent,
         )),
@@ -69,7 +73,11 @@ fn run(security: SecurityMode) -> (u64, u64, u64) {
     );
     sys.spawn(
         Box::new(VmProgram::new(
-            PageWalker { vbase, pages: 4, step: 13 },
+            PageWalker {
+                vbase,
+                pages: 4,
+                step: 13,
+            },
             vm.clone(),
             child,
         )),
