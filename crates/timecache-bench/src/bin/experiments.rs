@@ -2,28 +2,83 @@
 //! evaluation.
 //!
 //! ```text
-//! experiments [--quick] [--telemetry] <all|table1|table2|fig7|fig8|fig9|
-//!                        fig10|security|rollover|switchcost|other-attacks|
-//!                        ftm|area|ablation|telemetry-demo>
+//! experiments [--quick] [--telemetry] [--jobs N]
+//!             <all|table1|table2|fig7|fig8|fig9|fig10|security|rollover|
+//!              switchcost|other-attacks|ftm|area|ablation|telemetry-demo|
+//!              bench-sweep>
 //! ```
 //!
 //! `--quick` shrinks the instruction budgets (useful for smoke-testing the
-//! harness; reported numbers will be noisier). `--telemetry` records
-//! metrics, events, and phase profiles for every system the experiment
-//! builds, and writes `<id>_metrics.prom` / `<id>_metrics.json` /
-//! `<id>_events.jsonl` / `<id>_profile.json` / `<id>_manifest.json` under
-//! `results/` next to the experiment's CSV.
+//! harness; reported numbers will be noisier). `--jobs N` sets the sweep
+//! engine's worker count (default: all cores; `--jobs 1` reproduces serial
+//! execution bit-for-bit). `--telemetry` records metrics, events, and
+//! phase profiles for every system the experiment builds, and writes
+//! `<id>_metrics.prom` / `<id>_metrics.json` / `<id>_events.jsonl` /
+//! `<id>_profile.json` / `<id>_manifest.json` under `results/` next to the
+//! experiment's CSV. `bench-sweep` times the SPEC sweep serially vs in
+//! parallel plus per-access simulator cost and writes `BENCH_sweep.json`.
 
 use timecache_bench::runner::RunParams;
-use timecache_bench::{exp, telemetry};
+use timecache_bench::{exp, sweep, telemetry};
+use timecache_workloads::mixes;
+use timecache_workloads::parsec::ParsecBenchmark;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments [--quick] [--telemetry] <all|table1|table2|fig7|fig8|\
-         fig9|fig10|security|rollover|switchcost|other-attacks|ftm|area|ablation|\
-         telemetry-demo>"
+        "usage: experiments [--quick] [--telemetry] [--jobs N] <all|table1|table2|\
+         fig7|fig8|fig9|fig10|security|rollover|switchcost|other-attacks|ftm|area|\
+         ablation|telemetry-demo|bench-sweep>"
     );
     std::process::exit(2);
+}
+
+/// Extracts `--jobs N` / `--jobs=N` from `args`, removing the consumed
+/// elements. Exits with usage on a malformed value.
+fn parse_jobs(args: &mut Vec<String>) -> Option<usize> {
+    let mut jobs = None;
+    let mut i = 0;
+    while i < args.len() {
+        let consumed = if args[i] == "--jobs" {
+            let Some(value) = args.get(i + 1) else {
+                eprintln!("--jobs requires a value");
+                usage();
+            };
+            jobs = value.parse().ok().filter(|&n| n >= 1);
+            if jobs.is_none() {
+                eprintln!("--jobs expects a positive integer, got {value:?}");
+                usage();
+            }
+            2
+        } else if let Some(value) = args[i].strip_prefix("--jobs=") {
+            jobs = value.parse().ok().filter(|&n| n >= 1);
+            if jobs.is_none() {
+                eprintln!("--jobs expects a positive integer, got {value:?}");
+                usage();
+            }
+            1
+        } else {
+            i += 1;
+            continue;
+        };
+        args.drain(i..i + consumed);
+    }
+    jobs
+}
+
+fn announce_spec_sweep() {
+    eprintln!(
+        "running SPEC sweep ({} pairs, 2 modes, {} jobs)...",
+        mixes::all_pairs().len(),
+        sweep::jobs()
+    );
+}
+
+fn announce_parsec_sweep() {
+    eprintln!(
+        "running PARSEC sweep ({} benchmarks, 2 modes, {} jobs)...",
+        ParsecBenchmark::ALL.len(),
+        sweep::jobs()
+    );
 }
 
 fn main() {
@@ -31,6 +86,9 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let with_telemetry = args.iter().any(|a| a == "--telemetry");
     args.retain(|a| a != "--quick" && a != "--telemetry");
+    if let Some(jobs) = parse_jobs(&mut args) {
+        sweep::set_jobs(jobs);
+    }
     let which = args.first().map(String::as_str).unwrap_or_else(|| usage());
     let params = if quick {
         RunParams::quick()
@@ -44,20 +102,20 @@ fn main() {
     match which {
         "table1" => exp::table1::run(),
         "table2" | "fig7" | "fig8" => {
-            eprintln!("running SPEC sweep (24 pairs, 2 modes)...");
+            announce_spec_sweep();
             let sweep = exp::spec_sweep(&params);
             match which {
                 "fig7" => exp::fig7::run(&sweep),
                 "fig8" => exp::fig8::run(&sweep),
                 _ => {
-                    eprintln!("running PARSEC sweep (6 benchmarks, 2 modes)...");
+                    announce_parsec_sweep();
                     let parsec = exp::fig9::sweep(&params);
                     exp::table2::run(&sweep, &parsec);
                 }
             }
         }
         "fig9" => {
-            eprintln!("running PARSEC sweep (6 benchmarks, 2 modes)...");
+            announce_parsec_sweep();
             let parsec = exp::fig9::sweep(&params);
             exp::fig9::run(&parsec);
         }
@@ -70,13 +128,14 @@ fn main() {
         "area" => exp::area::run(),
         "ablation" => exp::ablation::run(&params),
         "telemetry-demo" => exp::telemetry_demo::run(&params),
+        "bench-sweep" => exp::bench_sweep::run(&params),
         "all" => {
             exp::table1::run();
-            eprintln!("running SPEC sweep (24 pairs, 2 modes)...");
+            announce_spec_sweep();
             let sweep = exp::spec_sweep(&params);
             exp::fig7::run(&sweep);
             exp::fig8::run(&sweep);
-            eprintln!("running PARSEC sweep (6 benchmarks, 2 modes)...");
+            announce_parsec_sweep();
             let parsec = exp::fig9::sweep(&params);
             exp::fig9::run(&parsec);
             exp::table2::run(&sweep, &parsec);

@@ -7,8 +7,9 @@
 //! 2. **Bit-serial vs line-serial comparison** (Section V-C): cycles per
 //!    context switch scale with timestamp width instead of line count.
 
+use crate::exp::sweep_pairs;
 use crate::output::{geomean, print_table, write_csv};
-use crate::runner::{compare_spec_pair, Comparison, RunParams};
+use crate::runner::{Comparison, RunParams};
 use timecache_core::BitSerialComparator;
 use timecache_workloads::mixes;
 
@@ -22,23 +23,24 @@ pub fn run(params: &RunParams) {
         .filter(|p| labels.contains(&p.label().as_str()))
         .collect();
 
+    // Two engine sweeps over the same pairs: snapshots kept vs discarded.
+    let kept = sweep_pairs(&pairs, params);
+    let dropped = sweep_pairs(
+        &pairs,
+        &RunParams {
+            discard_snapshots: true,
+            ..*params
+        },
+    );
+
     let header = ["workload", "timecache", "no-save/restore"];
     let mut rows = Vec::new();
     let (mut with, mut without) = (Vec::new(), Vec::new());
-    for spec in &pairs {
-        eprintln!("  ablating {} ...", spec.label());
-        let keep = compare_spec_pair(spec, params);
-        let drop = compare_spec_pair(
-            spec,
-            &RunParams {
-                discard_snapshots: true,
-                ..*params
-            },
-        );
+    for (keep, drop) in kept.iter().zip(&dropped) {
         with.push(keep.overhead());
         without.push(drop.overhead());
         rows.push(vec![
-            spec.label(),
+            keep.label.clone(),
             format!("{:.4}", keep.overhead()),
             format!("{:.4}", drop.overhead()),
         ]);

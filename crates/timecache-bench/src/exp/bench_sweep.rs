@@ -1,0 +1,129 @@
+//! Performance tracking for the harness itself: end-to-end SPEC-sweep
+//! wall-clock at `--jobs 1` vs the configured parallel job count (with a
+//! byte-identity check on the derived CSV), plus per-access simulator
+//! timings — written to `BENCH_sweep.json` so the perf trajectory is
+//! tracked from run to run.
+
+use crate::exp::spec_sweep;
+use crate::microbench::Bencher;
+use crate::runner::{Comparison, RunParams};
+use crate::sweep;
+use std::hint::black_box;
+use std::time::Instant;
+use timecache_core::TimeCacheConfig;
+use timecache_sim::{AccessKind, Hierarchy, HierarchyConfig, SecurityMode};
+use timecache_telemetry::encode;
+
+/// Renders a sweep as the CSV the figures derive from; used to verify the
+/// parallel engine is byte-identical to serial execution.
+fn sweep_csv(sweep: &[Comparison]) -> String {
+    let header = ["pair", "baseline-cycles", "timecache-cycles", "overhead"];
+    let rows: Vec<Vec<String>> = sweep
+        .iter()
+        .map(|cmp| {
+            vec![
+                cmp.label.clone(),
+                cmp.baseline.cycles.to_string(),
+                cmp.timecache.cycles.to_string(),
+                format!("{:.6}", cmp.overhead()),
+            ]
+        })
+        .collect();
+    encode::csv_table(&header, &rows)
+}
+
+fn hierarchy(security: SecurityMode) -> Hierarchy {
+    let mut cfg = HierarchyConfig::with_cores(1);
+    cfg.security = security;
+    Hierarchy::new(cfg).expect("valid")
+}
+
+/// Median ns/iter for an L1-hit access loop and a DRAM-miss stream under
+/// one security mode.
+fn per_access_ns(b: &mut Bencher, name: &str, security: SecurityMode) -> (f64, f64) {
+    let hit = {
+        let mut h = hierarchy(security);
+        for i in 0..256u64 {
+            h.access(0, 0, AccessKind::Load, i * 64, i);
+        }
+        let mut now = 1_000u64;
+        let mut i = 0u64;
+        b.bench(&format!("sweep/l1-hit/{name}"), || {
+            now += 1;
+            i = (i + 1) % 256;
+            black_box(h.access(0, 0, AccessKind::Load, i * 64, now))
+        })
+        .median_ns
+    };
+    let miss = {
+        let mut h = hierarchy(security);
+        let mut now = 0u64;
+        let mut addr = 0u64;
+        b.bench(&format!("sweep/dram-miss/{name}"), || {
+            now += 1;
+            addr = (addr + 64) % (64 << 20);
+            black_box(h.access(0, 0, AccessKind::Load, 0x4000_0000 + addr, now))
+        })
+        .median_ns
+    };
+    (hit, miss)
+}
+
+/// Times the full SPEC sweep serially and in parallel, checks the outputs
+/// match byte-for-byte, measures per-access cost, and writes
+/// `BENCH_sweep.json`.
+pub fn run(params: &RunParams) {
+    let parallel_jobs = sweep::jobs().max(1);
+
+    eprintln!("timing serial sweep (--jobs 1)...");
+    sweep::set_jobs(1);
+    let t0 = Instant::now();
+    let serial = spec_sweep(params);
+    let serial_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    eprintln!("timing parallel sweep (--jobs {parallel_jobs})...");
+    sweep::set_jobs(parallel_jobs);
+    let t0 = Instant::now();
+    let parallel = spec_sweep(params);
+    let parallel_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let serial_csv = sweep_csv(&serial);
+    let parallel_csv = sweep_csv(&parallel);
+    let identical = serial_csv == parallel_csv;
+    assert!(
+        identical,
+        "parallel sweep output must be byte-identical to serial"
+    );
+
+    let speedup = serial_ms / parallel_ms.max(1e-9);
+    println!(
+        "sweep wall-clock: serial {serial_ms:.0} ms, {parallel_jobs} jobs {parallel_ms:.0} ms \
+         ({speedup:.2}x), csv identical: {identical}"
+    );
+
+    let mut b = Bencher::new();
+    let (base_hit, base_miss) = per_access_ns(&mut b, "baseline", SecurityMode::Baseline);
+    let (tc_hit, tc_miss) = per_access_ns(
+        &mut b,
+        "timecache",
+        SecurityMode::TimeCache(TimeCacheConfig::default()),
+    );
+
+    let mut json = String::from("{");
+    encode::json_string(&mut json, "sweep");
+    json.push_str(&format!(
+        ":{{\"pairs\":{},\"runs\":{},\"jobs_parallel\":{parallel_jobs},\
+         \"serial_ms\":{serial_ms:.1},\"parallel_ms\":{parallel_ms:.1},\
+         \"speedup\":{speedup:.3},\"csv_identical\":{identical}}},",
+        serial.len(),
+        serial.len() * 2,
+    ));
+    encode::json_string(&mut json, "per_access_ns");
+    json.push_str(&format!(
+        ":{{\"l1_hit_baseline\":{base_hit:.2},\"l1_hit_timecache\":{tc_hit:.2},\
+         \"dram_miss_baseline\":{base_miss:.2},\"dram_miss_timecache\":{tc_miss:.2}}}}}"
+    ));
+
+    std::fs::write("BENCH_sweep.json", &json).expect("write BENCH_sweep.json");
+    println!("wrote BENCH_sweep.json");
+}

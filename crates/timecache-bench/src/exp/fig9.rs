@@ -2,17 +2,37 @@
 //! average overhead 0.8 %) and per-cache delayed-access MPKI.
 
 use crate::output::{geomean, print_table, write_csv};
-use crate::runner::{compare_parsec, Comparison, RunParams};
+use crate::runner::{run_parsec_mode, timecache_mode, Comparison, RunParams};
+use crate::sweep as engine;
+use timecache_sim::SecurityMode;
 use timecache_workloads::mixes;
 use timecache_workloads::parsec::ParsecBenchmark;
 
-/// Runs all PARSEC benchmarks under both modes.
+/// Runs all PARSEC benchmarks under both modes, fanning each
+/// `(benchmark, mode)` run across cores as an independent job.
 pub fn sweep(params: &RunParams) -> Vec<Comparison> {
-    ParsecBenchmark::ALL
+    let benches = ParsecBenchmark::ALL;
+    let metrics = engine::run(benches.len() * 2, |i| {
+        let bench = benches[i / 2];
+        let (mode, name) = if i % 2 == 0 {
+            (SecurityMode::Baseline, "baseline")
+        } else {
+            (timecache_mode(params), "timecache")
+        };
+        engine::progress(&format!("  running {bench} [{name}] ..."));
+        run_parsec_mode(bench, mode, params)
+    });
+    let mut metrics = metrics.into_iter();
+    benches
         .into_iter()
-        .map(|b| {
-            eprintln!("  running {b} ...");
-            compare_parsec(b, params)
+        .map(|bench| {
+            let baseline = metrics.next().expect("two runs per benchmark");
+            let timecache = metrics.next().expect("two runs per benchmark");
+            Comparison {
+                label: bench.name().to_owned(),
+                baseline,
+                timecache,
+            }
         })
         .collect()
 }

@@ -5,6 +5,7 @@
 
 use crate::output::{print_table, write_csv};
 use crate::runner::{compare_spec_pair, RunParams};
+use crate::sweep;
 use timecache_attacks::harness::run_microbenchmark;
 use timecache_core::TimeCacheConfig;
 use timecache_sim::SecurityMode;
@@ -23,9 +24,11 @@ pub fn run(params: &RunParams) {
         .expect("perlbench pair exists");
 
     let header = ["ts-width", "overhead", "llc-fa-mpki", "attack-hits"];
-    let mut rows = Vec::new();
-    for width in WIDTHS {
-        eprintln!("  width {width} bits ...");
+    // One engine job per counter width; the security re-check rides along
+    // in the job so an assertion failure surfaces at join.
+    let rows = sweep::run(WIDTHS.len(), |i| {
+        let width = WIDTHS[i];
+        sweep::progress(&format!("  width {width} bits ..."));
         let p = RunParams {
             timestamp_bits: width,
             ..*params
@@ -33,14 +36,14 @@ pub fn run(params: &RunParams) {
         let cmp = compare_spec_pair(&spec, &p);
         // Security must hold at every width: rollover only adds misses.
         let mb = run_microbenchmark(SecurityMode::TimeCache(TimeCacheConfig::new(width)), 3);
-        rows.push(vec![
+        assert_eq!(mb.hits, 0, "rollover must never re-open the channel");
+        vec![
             format!("{width}"),
             format!("{:.4}", cmp.overhead()),
             format!("{:.4}", cmp.timecache.llc_first_access_mpki()),
             format!("{}/{}", mb.hits, mb.probes),
-        ]);
-        assert_eq!(mb.hits, 0, "rollover must never re-open the channel");
-    }
+        ]
+    });
     print_table(
         "Section VI-C: timestamp width sweep (2Xperlbench; rollover adds misses, never hits)",
         &header,

@@ -7,8 +7,10 @@
 //! table analytically and the bookkeeping share by measurement.
 
 use crate::output::{print_table, write_csv};
-use crate::runner::{compare_spec_pair, RunParams};
+use crate::runner::{run_spec_pair_mode, timecache_mode, Comparison, RunParams};
+use crate::sweep;
 use timecache_core::{SBitArray, Snapshot, TimestampWidth};
+use timecache_sim::SecurityMode;
 use timecache_workloads::mixes;
 
 /// Prints the per-cache-size transfer table and the measured bookkeeping
@@ -55,8 +57,25 @@ pub fn run(params: &RunParams) {
 
     // Measured bookkeeping share (paper: ~0.024 % of execution time).
     let spec = &mixes::all_pairs()[1]; // 2Xlbm: plenty of switches
-    eprintln!("  measuring bookkeeping share on {} ...", spec.label());
-    let cmp = compare_spec_pair(spec, params);
+    sweep::progress(&format!(
+        "  measuring bookkeeping share on {} ...",
+        spec.label()
+    ));
+    // The two modes are independent: run them as engine jobs.
+    let mut metrics = sweep::run(2, |i| {
+        let mode = if i == 0 {
+            SecurityMode::Baseline
+        } else {
+            timecache_mode(params)
+        };
+        run_spec_pair_mode(spec, mode, params)
+    })
+    .into_iter();
+    let cmp = Comparison {
+        label: spec.label(),
+        baseline: metrics.next().expect("baseline run"),
+        timecache: metrics.next().expect("timecache run"),
+    };
     let share = cmp.timecache.tc_switch_cycles as f64 / cmp.timecache.cycles.max(1) as f64;
     println!(
         "context-switch bookkeeping: {} cycles over {} ({:.4}% of execution; paper 0.024%)",

@@ -12,11 +12,13 @@
 //! ```
 //!
 //! Each experiment prints a paper-style table to stdout and writes a CSV
-//! under `results/`. Passing `--telemetry` (or running the dedicated
-//! `telemetry-demo` experiment) additionally writes metrics, event-trace,
-//! profile, and manifest artifacts via [`telemetry`]. See `DESIGN.md` for
-//! the experiment index and `EXPERIMENTS.md` for paper-vs-measured
-//! records.
+//! under `results/`. Sweeps over independent runs are fanned across cores
+//! by the [`sweep`] engine (`--jobs N` controls the worker count;
+//! `--jobs 1` reproduces serial execution bit-for-bit). Passing
+//! `--telemetry` (or running the dedicated `telemetry-demo` experiment)
+//! additionally writes metrics, event-trace, profile, and manifest
+//! artifacts via [`telemetry`]. See `DESIGN.md` for the experiment index
+//! and `EXPERIMENTS.md` for paper-vs-measured records.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,4 +27,5 @@ pub mod exp;
 pub mod microbench;
 pub mod output;
 pub mod runner;
+pub mod sweep;
 pub mod telemetry;

@@ -116,7 +116,10 @@ impl Comparison {
     }
 }
 
-fn security_mode(params: &RunParams) -> SecurityMode {
+/// The TimeCache security mode a parameter set selects (the counterpart of
+/// [`SecurityMode::Baseline`] in every comparison). Public so sweep jobs
+/// can run the two modes of a comparison as independent units of work.
+pub fn timecache_mode(params: &RunParams) -> SecurityMode {
     SecurityMode::TimeCache(TimeCacheConfig::new(params.timestamp_bits))
 }
 
@@ -177,7 +180,7 @@ pub fn compare_spec_pair(spec: &PairSpec, params: &RunParams) -> Comparison {
     Comparison {
         label: spec.label(),
         baseline: run_spec_pair_mode(spec, SecurityMode::Baseline, params),
-        timecache: run_spec_pair_mode(spec, security_mode(params), params),
+        timecache: run_spec_pair_mode(spec, timecache_mode(params), params),
     }
 }
 
@@ -225,7 +228,7 @@ pub fn compare_parsec(bench: ParsecBenchmark, params: &RunParams) -> Comparison 
     Comparison {
         label: bench.name().to_owned(),
         baseline: run_parsec_mode(bench, SecurityMode::Baseline, params),
-        timecache: run_parsec_mode(bench, security_mode(params), params),
+        timecache: run_parsec_mode(bench, timecache_mode(params), params),
     }
 }
 

@@ -1,0 +1,219 @@
+//! The parallel sweep engine: fans independent simulation runs across
+//! cores.
+//!
+//! Every paper artifact is a sweep over *independent* runs — each a pure
+//! function of `(workload pair, security mode, RunParams)` with no shared
+//! mutable state — so the experiment modules hand the engine a job count
+//! and an indexed job function and get results back **in job order**,
+//! regardless of which worker finished which job when. The pool is built
+//! from `std::thread::scope` plus an atomic job cursor (no third-party
+//! dependencies):
+//!
+//! * `jobs == 1` (or a single job) runs every job inline on the caller's
+//!   thread in index order — bit-for-bit the pre-engine serial behavior,
+//!   including the caller's thread-local telemetry handle;
+//! * `jobs > 1` spawns `min(jobs, n)` workers that claim indices from a
+//!   shared [`AtomicUsize`] cursor and deposit results into per-index
+//!   slots.
+//!
+//! The worker count defaults to [`std::thread::available_parallelism`] and
+//! is overridden process-wide by the `experiments` binary's `--jobs N`
+//! flag via [`set_jobs`].
+//!
+//! # Telemetry
+//!
+//! The run-scoped [`crate::telemetry`] handle is thread-local and its
+//! sinks are `Rc`-shared, so workers cannot record into the caller's
+//! handle directly. Instead, when the caller's handle is enabled each
+//! worker installs its own enabled handle for the duration of the sweep
+//! and ships a [`TelemetrySnapshot`] back at join; the engine absorbs the
+//! snapshots into the caller's handle in worker order. Counters,
+//! histograms, and phase profiles merge additively, so the merged totals
+//! equal a serial run's (see `Telemetry::absorb`).
+//!
+//! # Progress output
+//!
+//! Job closures report progress through [`progress`], which writes each
+//! message as one atomic line under the stderr lock so concurrent workers
+//! never interleave partial lines.
+
+use std::io::Write;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use timecache_telemetry::{Telemetry, TelemetrySnapshot};
+
+/// Process-wide worker-count override; 0 means "use all cores".
+static JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the process-wide worker count for subsequent sweeps. `0` restores
+/// the default (all cores); `1` forces serial execution.
+pub fn set_jobs(n: usize) {
+    JOBS.store(n, Ordering::Relaxed);
+}
+
+/// The effective worker count: the [`set_jobs`] override, or
+/// [`std::thread::available_parallelism`] (falling back to 1) when unset.
+pub fn jobs() -> usize {
+    match JOBS.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+        n => n,
+    }
+}
+
+/// Writes one full progress line to stderr under the lock, so lines from
+/// concurrent workers never interleave mid-line.
+pub fn progress(msg: &str) {
+    let stderr = std::io::stderr();
+    let mut out = stderr.lock();
+    let _ = writeln!(out, "{msg}");
+}
+
+/// Runs jobs `0..n` with the process-wide worker count ([`jobs`]) and
+/// returns their results indexed by job.
+///
+/// # Panics
+///
+/// Propagates any job panic to the caller (workers are joined by
+/// `std::thread::scope`).
+pub fn run<T, F>(n: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    run_with_jobs(n, jobs(), job)
+}
+
+/// [`run`] with an explicit worker count.
+pub fn run_with_jobs<T, F>(n: usize, num_jobs: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if num_jobs <= 1 || n <= 1 {
+        // Inline serial path: identical to the historical behavior,
+        // including use of the caller's thread-local telemetry.
+        return (0..n).map(job).collect();
+    }
+
+    let workers = num_jobs.min(n);
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    // The caller's handle is not Send; capture only whether it is enabled
+    // and absorb the workers' snapshots after the scope ends.
+    let caller_tel = crate::telemetry::current();
+    let record = caller_tel.is_enabled();
+    let snapshots: Vec<Mutex<Option<TelemetrySnapshot>>> =
+        (0..workers).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for worker in 0..workers {
+            let cursor = &cursor;
+            let slots = &slots;
+            let snapshots = &snapshots;
+            let job = &job;
+            scope.spawn(move || {
+                let tel = if record {
+                    let tel = Telemetry::enabled();
+                    crate::telemetry::set(&tel);
+                    Some(tel)
+                } else {
+                    None
+                };
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let result = job(i);
+                    *slots[i].lock().expect("result slot poisoned") = Some(result);
+                }
+                if let Some(tel) = tel {
+                    *snapshots[worker].lock().expect("snapshot slot poisoned") =
+                        Some(tel.snapshot());
+                }
+            });
+        }
+    });
+
+    for slot in snapshots {
+        if let Some(snap) = slot.into_inner().expect("snapshot slot poisoned") {
+            caller_tel.absorb(&snap);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every job index was claimed and completed")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_land_by_job_index() {
+        // Jobs with deliberately inverted costs: later jobs finish first
+        // under parallel execution, yet results stay index-ordered.
+        let job = |i: usize| {
+            std::thread::sleep(std::time::Duration::from_millis(8 - i as u64));
+            i * 10
+        };
+        let serial = run_with_jobs(8, 1, job);
+        let parallel = run_with_jobs(8, 4, job);
+        assert_eq!(serial, (0..8).map(|i| i * 10).collect::<Vec<_>>());
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn worker_count_is_clamped_to_jobs() {
+        // More workers than jobs must not deadlock or drop results.
+        assert_eq!(run_with_jobs(2, 16, |i| i), vec![0, 1]);
+        assert_eq!(run_with_jobs(0, 4, |i| i), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn jobs_override_round_trips() {
+        set_jobs(3);
+        assert_eq!(jobs(), 3);
+        set_jobs(0);
+        assert!(jobs() >= 1);
+    }
+
+    #[test]
+    fn worker_telemetry_merges_into_caller_handle() {
+        let tel = crate::telemetry::enable();
+        let before = tel
+            .registry()
+            .unwrap()
+            .counter_value("sweep_test_total", &[])
+            .unwrap_or(0);
+        run_with_jobs(6, 3, |_| {
+            let worker_tel = crate::telemetry::current();
+            worker_tel
+                .registry()
+                .unwrap()
+                .counter("sweep_test_total", "Test.", &[])
+                .inc();
+        });
+        assert_eq!(
+            tel.registry()
+                .unwrap()
+                .counter_value("sweep_test_total", &[]),
+            Some(before + 6)
+        );
+        crate::telemetry::disable();
+    }
+
+    #[test]
+    fn disabled_telemetry_stays_disabled_in_workers() {
+        crate::telemetry::disable();
+        let enabled = run_with_jobs(4, 2, |_| crate::telemetry::current().is_enabled());
+        assert_eq!(enabled, vec![false; 4]);
+    }
+}

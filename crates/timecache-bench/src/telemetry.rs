@@ -1,10 +1,14 @@
 //! Run-scoped telemetry for the experiment harness.
 //!
-//! The harness keeps one [`Telemetry`] handle per run (thread-local: the
-//! whole simulator is single-threaded). [`crate::runner`] hands it to every
+//! The harness keeps one [`Telemetry`] handle per *thread* (each simulated
+//! run is single-threaded; sweeps parallelize across runs).
+//! [`crate::runner`] hands the thread's current handle to every
 //! [`timecache_os::System`] it builds, so enabling telemetry before an
 //! experiment makes the entire run observable without threading a handle
-//! through every experiment signature. After the run,
+//! through every experiment signature. Parallel sweeps via [`crate::sweep`]
+//! give each worker thread its own enabled handle and merge the workers'
+//! snapshots back into the caller's handle at join, so merged counter,
+//! histogram, and profile totals equal a serial run's. After the run,
 //! [`write_artifacts`] snapshots everything into [`crate::output::results_dir`]:
 //!
 //! * `<id>_metrics.prom` — Prometheus text exposition of all counters,

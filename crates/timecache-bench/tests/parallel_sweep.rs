@@ -1,0 +1,86 @@
+//! The parallel sweep engine's contract: worker count changes wall-clock
+//! only, never results — and per-worker telemetry merges to the same
+//! counters a serial run records.
+
+use std::sync::Mutex;
+use timecache_bench::exp::sweep_pairs;
+use timecache_bench::runner::RunParams;
+use timecache_bench::{sweep, telemetry};
+use timecache_workloads::mixes;
+
+/// `sweep::set_jobs` is process-wide; serialize the tests that toggle it.
+static JOBS_LOCK: Mutex<()> = Mutex::new(());
+
+/// A reduced profile so the sweep finishes in seconds.
+fn tiny_params() -> RunParams {
+    RunParams {
+        warmup_instructions: 20_000,
+        measure_instructions: 80_000,
+        quantum_cycles: 50_000,
+        ..RunParams::default()
+    }
+}
+
+#[test]
+fn jobs_1_and_jobs_4_produce_identical_comparisons() {
+    let _guard = JOBS_LOCK.lock().unwrap();
+    let pairs = &mixes::all_pairs()[..4];
+    let params = tiny_params();
+
+    sweep::set_jobs(1);
+    let serial = sweep_pairs(pairs, &params);
+    sweep::set_jobs(4);
+    let parallel = sweep_pairs(pairs, &params);
+    sweep::set_jobs(0);
+
+    assert_eq!(serial.len(), pairs.len());
+    // Comparison derives PartialEq: every metric of every run must match
+    // bit-for-bit, in pair order.
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn parallel_sweep_telemetry_matches_serial_counters() {
+    let _guard = JOBS_LOCK.lock().unwrap();
+    let pairs = &mixes::all_pairs()[..2];
+    let params = tiny_params();
+
+    // Serial run with a fresh handle.
+    sweep::set_jobs(1);
+    let serial_tel = telemetry::enable();
+    let serial = sweep_pairs(pairs, &params);
+    telemetry::disable();
+
+    // Parallel run with another fresh handle; workers record into their
+    // own registries, merged back at join.
+    sweep::set_jobs(4);
+    let parallel_tel = telemetry::enable();
+    let parallel = sweep_pairs(pairs, &params);
+    telemetry::disable();
+    sweep::set_jobs(0);
+
+    assert_eq!(serial, parallel);
+    let serial_reg = serial_tel.registry().unwrap();
+    let parallel_reg = parallel_tel.registry().unwrap();
+    for (cache, outcome) in [
+        ("l1d", "hit"),
+        ("l1d", "miss"),
+        ("l1d", "first_access"),
+        ("llc", "hit"),
+        ("llc", "miss"),
+        ("llc", "first_access"),
+    ] {
+        let labels = [("cache", cache), ("outcome", outcome)];
+        let s = serial_reg.counter_value("sim_cache_accesses_total", &labels);
+        let p = parallel_reg.counter_value("sim_cache_accesses_total", &labels);
+        assert_eq!(s, p, "counter mismatch for {cache}/{outcome}");
+        assert!(
+            s.unwrap_or(0) > 0 || outcome == "first_access",
+            "serial run recorded nothing for {cache}/{outcome}"
+        );
+    }
+    assert_eq!(
+        serial_reg.counter_value("sim_switch_restores_total", &[]),
+        parallel_reg.counter_value("sim_switch_restores_total", &[]),
+    );
+}

@@ -219,6 +219,47 @@ mod tests {
     }
 
     #[test]
+    fn one_bit_width_boundary() {
+        // Narrowest legal counter: a single bit-plane sweep must still
+        // implement `Tc > Ts` exactly, and cost 1 + 1 cycles.
+        assert_eq!(run(&[0, 1], 0, 1), vec![false, true]);
+        assert_eq!(run(&[0, 1], 1, 1), vec![false, false]);
+        let w = TimestampWidth::new(1);
+        let tc = TransposeArray::new(2, w);
+        let out = BitSerialComparator::compare(&tc, WrappingTime::from_cycle(0, w));
+        assert_eq!(out.cycles, 2);
+        assert_eq!(BitSerialComparator::sweep_cycles(1), 2);
+    }
+
+    #[test]
+    fn sixty_four_bit_width_boundary() {
+        // Widest legal counter: full-u64 values must not overflow the mask
+        // arithmetic, and the MSB (bit 63) must decide.
+        let top = 1u64 << 63;
+        let r = run(&[0, top - 1, top, u64::MAX], top - 1, 64);
+        assert_eq!(r, vec![false, false, true, true]);
+        assert_eq!(run(&[u64::MAX], u64::MAX, 64), vec![false]);
+        assert_eq!(BitSerialComparator::sweep_cycles(64), 65);
+    }
+
+    #[test]
+    fn equal_timestamps_never_reset() {
+        // Tc == Ts means the line was filled before (or at) preemption: it
+        // stays visible. Ties must not reset at any width or value shape.
+        for width in [1u8, 4, 8, 32, 64] {
+            let mask = TimestampWidth::new(width).mask();
+            for ts in [0u64, 1, mask / 2, mask.saturating_sub(1), mask] {
+                let ts = ts & mask;
+                assert_eq!(
+                    run(&[ts], ts, width),
+                    vec![false],
+                    "tie at ts={ts} width={width} must keep the s-bit"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn exhaustive_small_width_equivalence() {
         // For 5-bit timestamps, check the circuit against `tc > ts` for every
         // (tc, ts) pair exhaustively.

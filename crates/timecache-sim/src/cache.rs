@@ -14,13 +14,36 @@ use crate::replacement::ReplacementState;
 use crate::stats::CacheStats;
 use timecache_core::{Snapshot, TimeCacheConfig, TimeCacheState, Visibility};
 
+/// Sentinel tag marking an invalid way. Folding validity into the tag
+/// keeps the lookup scan to a single compare per way (no separate valid-bit
+/// branch). No real line can carry this tag: line addresses are byte
+/// addresses shifted right by the (nonzero) line-size bits, so their top
+/// bits are always clear.
+const INVALID_TAG: u64 = u64::MAX;
+
 /// One tag-array entry.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 struct Line {
-    /// The full line address (serves as the tag; the set is implied).
+    /// The full line address (serves as the tag; the set is implied), or
+    /// [`INVALID_TAG`] when the way is empty.
     addr: u64,
-    valid: bool,
     dirty: bool,
+}
+
+impl Default for Line {
+    fn default() -> Self {
+        Line {
+            addr: INVALID_TAG,
+            dirty: false,
+        }
+    }
+}
+
+impl Line {
+    #[inline]
+    fn valid(&self) -> bool {
+        self.addr != INVALID_TAG
+    }
 }
 
 /// Result of a tag lookup.
@@ -53,6 +76,10 @@ pub struct Cache {
     replacement: ReplacementState,
     timecache: Option<TimeCacheState>,
     stats: CacheStats,
+    /// Hot-path copies of the derived geometry, resolved once at build time
+    /// so `lookup`/`fill` never re-divide capacity by ways × line size.
+    num_sets: u64,
+    ways: usize,
 }
 
 impl Cache {
@@ -79,6 +106,8 @@ impl Cache {
             replacement: ReplacementState::build(config.replacement, g.num_sets(), g.ways()),
             timecache: timecache.map(|tc| TimeCacheState::new(g.num_lines(), num_contexts, tc)),
             stats: CacheStats::new(),
+            num_sets: g.num_sets(),
+            ways: g.ways() as usize,
         }
     }
 
@@ -110,17 +139,26 @@ impl Cache {
     }
 
     /// Tag lookup without side effects.
+    ///
+    /// This is the innermost loop of the whole simulator (three calls per
+    /// simulated memory access in the worst case), so the scan is kept
+    /// branch-lean: one tag compare per way against the set's contiguous
+    /// slab, with validity folded into the tag via [`INVALID_TAG`].
+    #[inline]
     pub fn lookup(&self, line: LineAddr) -> Option<LookupResult> {
-        let set = self.index.set_of(line, self.geometry.num_sets());
-        let base = (set * self.geometry.ways() as u64) as usize;
-        (0..self.geometry.ways()).find_map(|way| {
-            let l = &self.lines[base + way as usize];
-            (l.valid && l.addr == line.raw()).then_some(LookupResult {
-                set,
-                way,
-                flat: base + way as usize,
-            })
-        })
+        let set = self.index.set_of(line, self.num_sets);
+        let base = set as usize * self.ways;
+        let raw = line.raw();
+        for (way, l) in self.lines[base..base + self.ways].iter().enumerate() {
+            if l.addr == raw {
+                return Some(LookupResult {
+                    set,
+                    way: way as u32,
+                    flat: base + way,
+                });
+            }
+        }
+        None
     }
 
     /// Records a demand hit for replacement purposes.
@@ -146,16 +184,16 @@ impl Cache {
             "{}: double fill of {line}",
             self.name
         );
-        let set = self.index.set_of(line, self.geometry.num_sets());
-        let base = (set * self.geometry.ways() as u64) as usize;
+        let set = self.index.set_of(line, self.num_sets);
+        let base = set as usize * self.ways;
 
         // Prefer an invalid way; otherwise ask the replacement policy.
-        let way = (0..self.geometry.ways())
-            .find(|&w| !self.lines[base + w as usize].valid)
+        let way = (0..self.ways as u32)
+            .find(|&w| !self.lines[base + w as usize].valid())
             .unwrap_or_else(|| self.replacement.victim(set));
         let flat = base + way as usize;
 
-        let evicted = self.lines[flat].valid.then(|| {
+        let evicted = self.lines[flat].valid().then(|| {
             self.stats.evictions += 1;
             Evicted {
                 line: LineAddr::from_raw(self.lines[flat].addr),
@@ -168,7 +206,6 @@ impl Cache {
 
         self.lines[flat] = Line {
             addr: line.raw(),
-            valid: true,
             dirty: false,
         };
         self.replacement.on_fill(set, way);
@@ -183,8 +220,7 @@ impl Cache {
     pub fn invalidate(&mut self, line: LineAddr) -> Option<bool> {
         let hit = self.lookup(line)?;
         let dirty = self.lines[hit.flat].dirty;
-        self.lines[hit.flat].valid = false;
-        self.lines[hit.flat].dirty = false;
+        self.lines[hit.flat] = Line::default();
         self.stats.invalidations += 1;
         if let Some(tc) = &mut self.timecache {
             tc.on_evict(hit.flat);
@@ -194,7 +230,7 @@ impl Cache {
 
     /// Marks a resident line dirty (write hit) or clean (write-back done).
     pub fn set_dirty(&mut self, at: LookupResult, dirty: bool) {
-        debug_assert!(self.lines[at.flat].valid);
+        debug_assert!(self.lines[at.flat].valid());
         self.lines[at.flat].dirty = dirty;
     }
 
@@ -245,7 +281,7 @@ impl Cache {
 
     /// Number of valid lines currently resident (diagnostics/tests).
     pub fn resident_lines(&self) -> usize {
-        self.lines.iter().filter(|l| l.valid).count()
+        self.lines.iter().filter(|l| l.valid()).count()
     }
 }
 

@@ -296,6 +296,10 @@ pub struct Hierarchy {
     /// Directory, indexed by LLC flat line index.
     dir: Vec<DirEntry>,
     tc_cfg: Option<TimeCacheConfig>,
+    /// `log2(line_size)`, resolved once so the per-access address-to-line
+    /// conversion is a plain shift (no power-of-two assert or
+    /// `trailing_zeros` on the hot path).
+    line_shift: u32,
     /// Telemetry sensors; `None` (the default) keeps the hot path free of
     /// any instrumentation work beyond this one branch.
     sensors: Option<Box<SimSensors>>,
@@ -330,6 +334,7 @@ impl Hierarchy {
             SecurityMode::TimeCache(tc) => Some(tc),
             _ => None,
         };
+        let line_shift = cfg.llc.geometry.line_size().trailing_zeros();
         Ok(Hierarchy {
             cfg,
             l1i,
@@ -337,6 +342,7 @@ impl Hierarchy {
             llc,
             dir,
             tc_cfg,
+            line_shift,
             sensors: None,
         })
     }
@@ -401,7 +407,7 @@ impl Hierarchy {
         now: u64,
     ) -> AccessOutcome {
         self.check_context(core, thread);
-        let line = LineAddr::from_addr(addr, self.line_size());
+        let line = LineAddr::from_raw(addr >> self.line_shift);
         if let Some(s) = &self.sensors {
             // Announce the clock so events emitted from clock-less inner
             // paths (evictions, write-backs) carry the access cycle.
@@ -529,7 +535,7 @@ impl Hierarchy {
     /// depends on whether any copy existed — the flush+flush channel — and
     /// is constant under the Section VII-C mitigation.
     pub fn clflush(&mut self, addr: Addr) -> u64 {
-        let line = LineAddr::from_addr(addr, self.line_size());
+        let line = LineAddr::from_raw(addr >> self.line_shift);
         if let Some(s) = &self.sensors {
             s.clflushes.inc();
         }

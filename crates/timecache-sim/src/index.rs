@@ -31,6 +31,7 @@ impl IndexFn {
     /// # Panics
     ///
     /// Panics if `num_sets` is not a power of two.
+    #[inline]
     pub fn set_of(&self, line: LineAddr, num_sets: u64) -> u64 {
         debug_assert!(num_sets.is_power_of_two());
         match self {
@@ -44,6 +45,7 @@ impl IndexFn {
 /// for CEASER's low-latency block cipher; what matters for the security
 /// argument is that set placement is unpredictable without the key, and a
 /// bijection guarantees no two distinct lines alias more than modulo would.
+#[inline]
 fn permute(x: u64, key: u64) -> u64 {
     let mut v = x ^ key;
     for r in 0..3 {

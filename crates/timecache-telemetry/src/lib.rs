@@ -50,8 +50,8 @@ pub mod profile;
 pub mod registry;
 pub mod trace;
 
-pub use profile::{Phase, PhaseCycles, Profiler, Scope, Span};
-pub use registry::{Counter, Gauge, Histogram, Registry, HISTOGRAM_BUCKETS};
+pub use profile::{Phase, PhaseCycles, ProfileSnapshot, Profiler, Scope, Span};
+pub use registry::{Counter, Gauge, Histogram, Registry, RegistrySnapshot, HISTOGRAM_BUCKETS};
 pub use trace::{AccessOp, EventRecord, ServedBy, TraceEvent, Tracer};
 
 use std::cell::Cell;
@@ -163,6 +163,68 @@ impl Telemetry {
             inner.tracer.record(cycle, event);
         }
     }
+
+    /// Captures this handle's full state — registry, retained events, and
+    /// profile tables — as owned plain data. The result is `Send` even
+    /// though `Telemetry` itself is not (its sinks are `Rc`-shared), which
+    /// is what lets a worker thread run with its own enabled handle and
+    /// ship the recordings back for [`Telemetry::absorb`] at join time.
+    /// A disabled handle snapshots to an empty (no-op) value.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        match &self.inner {
+            None => TelemetrySnapshot::default(),
+            Some(inner) => TelemetrySnapshot {
+                registry: Some(inner.registry.snapshot()),
+                events: inner.tracer.records(),
+                profile: Some(inner.profiler.snapshot()),
+            },
+        }
+    }
+
+    /// Folds a snapshot into this handle: counters/histograms add, gauges
+    /// adopt the snapshot value, events are re-recorded at their original
+    /// cycles (fresh sequence numbers), and profile tables add element-wise
+    /// (see [`Registry::merge`] and [`Profiler::merge`]). No-op when this
+    /// handle is disabled.
+    pub fn absorb(&self, snap: &TelemetrySnapshot) {
+        let Some(inner) = &self.inner else { return };
+        if let Some(reg) = &snap.registry {
+            inner.registry.merge(reg);
+        }
+        for rec in &snap.events {
+            inner.tracer.record(rec.cycle, rec.event);
+        }
+        if let Some(profile) = &snap.profile {
+            inner.profiler.merge(profile);
+        }
+    }
+}
+
+/// A thread-transferable (`Send`) copy of a [`Telemetry`] handle's state at
+/// one instant. Produced by [`Telemetry::snapshot`], consumed by
+/// [`Telemetry::absorb`]. The default value is empty and absorbs as a
+/// no-op.
+#[derive(Debug, Clone, Default)]
+pub struct TelemetrySnapshot {
+    registry: Option<RegistrySnapshot>,
+    events: Vec<EventRecord>,
+    profile: Option<ProfileSnapshot>,
+}
+
+impl TelemetrySnapshot {
+    /// Whether the snapshot carries no recordings at all (taken from a
+    /// disabled handle, or an enabled handle that never recorded).
+    pub fn is_empty(&self) -> bool {
+        self.registry
+            .as_ref()
+            .is_none_or(RegistrySnapshot::is_empty)
+            && self.events.is_empty()
+    }
+
+    /// Number of trace events carried.
+    pub fn num_events(&self) -> usize {
+        self.events.len()
+    }
 }
 
 #[cfg(test)]
@@ -198,6 +260,66 @@ mod tests {
             hit: false,
         });
         assert_eq!(t.tracer().unwrap().records()[0].cycle, 7);
+    }
+
+    #[test]
+    fn snapshot_round_trips_across_threads() {
+        fn assert_send<T: Send>() {}
+        assert_send::<TelemetrySnapshot>();
+
+        // Worker thread records into its own handle and ships a snapshot.
+        let snap = std::thread::spawn(|| {
+            let tel = Telemetry::enabled();
+            tel.registry()
+                .unwrap()
+                .counter("jobs_total", "jobs", &[])
+                .add(2);
+            tel.emit_at(
+                5,
+                TraceEvent::Probe {
+                    attack: "t",
+                    latency: 3,
+                    hit: true,
+                },
+            );
+            tel.profiler()
+                .unwrap()
+                .record(Scope::Process(0), Phase::Compute, 9);
+            tel.snapshot()
+        })
+        .join()
+        .unwrap();
+        assert!(!snap.is_empty());
+        assert_eq!(snap.num_events(), 1);
+
+        let main = Telemetry::enabled();
+        main.registry()
+            .unwrap()
+            .counter("jobs_total", "jobs", &[])
+            .add(1);
+        main.absorb(&snap);
+        assert_eq!(
+            main.registry().unwrap().counter_value("jobs_total", &[]),
+            Some(3)
+        );
+        assert_eq!(main.tracer().unwrap().records()[0].cycle, 5);
+        assert_eq!(
+            main.profiler()
+                .unwrap()
+                .process_cycles(0)
+                .get(Phase::Compute),
+            9
+        );
+    }
+
+    #[test]
+    fn disabled_handle_snapshot_and_absorb_are_noops() {
+        let off = Telemetry::disabled();
+        assert!(off.snapshot().is_empty());
+        let on = Telemetry::enabled();
+        on.registry().unwrap().counter("c_total", "c", &[]).inc();
+        off.absorb(&on.snapshot()); // must not panic
+        assert!(!off.is_enabled());
     }
 
     #[test]

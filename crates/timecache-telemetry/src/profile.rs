@@ -157,6 +157,35 @@ impl Profiler {
         self.inner.borrow().contexts.len()
     }
 
+    /// Captures the accumulation tables as owned plain data (`Send`), for
+    /// transfer across a thread boundary and [`Profiler::merge`].
+    pub fn snapshot(&self) -> ProfileSnapshot {
+        let inner = self.inner.borrow();
+        ProfileSnapshot {
+            processes: inner.processes.clone(),
+            contexts: inner.contexts.clone(),
+        }
+    }
+
+    /// Adds a snapshot's cycle totals into this profiler, element-wise per
+    /// scope and phase (tables grow as needed). Merging N worker snapshots
+    /// yields the same totals as one serial profiler recording everything.
+    pub fn merge(&self, snap: &ProfileSnapshot) {
+        fn add_into(table: &mut Vec<PhaseCycles>, add: &[PhaseCycles]) {
+            if table.len() < add.len() {
+                table.resize(add.len(), PhaseCycles::default());
+            }
+            for (dst, src) in table.iter_mut().zip(add) {
+                for (d, s) in dst.cycles.iter_mut().zip(&src.cycles) {
+                    *d += s;
+                }
+            }
+        }
+        let mut inner = self.inner.borrow_mut();
+        add_into(&mut inner.processes, &snap.processes);
+        add_into(&mut inner.contexts, &snap.contexts);
+    }
+
     /// Renders the profile as a JSON document:
     /// `{"processes": [...], "contexts": [...]}` with per-phase cycles.
     pub fn render_json(&self) -> String {
@@ -189,6 +218,14 @@ impl Profiler {
         out.push('}');
         out
     }
+}
+
+/// A plain-data copy of a profiler's tables, safe to send across threads
+/// (see [`Profiler::snapshot`] / [`Profiler::merge`]).
+#[derive(Debug, Clone, Default)]
+pub struct ProfileSnapshot {
+    processes: Vec<PhaseCycles>,
+    contexts: Vec<PhaseCycles>,
 }
 
 /// An open profiling span over simulated time. Explicitly ended (no Drop
@@ -242,6 +279,24 @@ mod tests {
         // Backwards clock saturates.
         p.span(Scope::Context(0), Phase::SwitchCost, 50).end(10);
         assert_eq!(p.context_cycles(0).get(Phase::SwitchCost), 60);
+    }
+
+    #[test]
+    fn snapshot_merge_matches_serial_recording() {
+        fn assert_send<T: Send>() {}
+        assert_send::<ProfileSnapshot>();
+        let serial = Profiler::new();
+        let merged = Profiler::new();
+        for worker in 0..3u32 {
+            let w = Profiler::new();
+            serial.record(Scope::Process(worker), Phase::Compute, 10);
+            w.record(Scope::Process(worker), Phase::Compute, 10);
+            serial.record(Scope::Context(0), Phase::SwitchCost, 5);
+            w.record(Scope::Context(0), Phase::SwitchCost, 5);
+            merged.merge(&w.snapshot());
+        }
+        assert_eq!(serial.render_json(), merged.render_json());
+        assert_eq!(merged.context_cycles(0).get(Phase::SwitchCost), 15);
     }
 
     #[test]

@@ -393,6 +393,124 @@ impl Registry {
     }
 }
 
+/// A plain-data copy of a registry's full contents at one instant.
+///
+/// Unlike [`Registry`] (whose handles are `Rc`-shared and therefore pinned
+/// to one thread), a snapshot owns all of its data and is `Send`: a worker
+/// thread can record into its own registry, snapshot it, and hand the
+/// snapshot across a thread boundary for [`Registry::merge`] on the main
+/// thread. This is how the bench harness's parallel sweep engine folds
+/// per-worker metrics back into the run-level registry.
+#[derive(Debug, Clone, Default)]
+pub struct RegistrySnapshot {
+    families: Vec<FamilySnap>,
+}
+
+impl RegistrySnapshot {
+    /// Whether the snapshot contains no series at all.
+    pub fn is_empty(&self) -> bool {
+        self.families.is_empty()
+    }
+
+    /// Total number of series across all metric families.
+    pub fn num_series(&self) -> usize {
+        self.families.iter().map(|f| f.series.len()).sum()
+    }
+}
+
+#[derive(Debug, Clone)]
+struct FamilySnap {
+    name: String,
+    help: String,
+    /// The family kind travels implicitly in [`ValueSnap`]; merge re-derives
+    /// it through the typed accessors, which enforce kind consistency.
+    series: Vec<(Vec<(String, String)>, ValueSnap)>,
+}
+
+#[derive(Debug, Clone)]
+enum ValueSnap {
+    Counter(u64),
+    Gauge(f64),
+    Histogram {
+        buckets: Vec<u64>,
+        sum: u64,
+        count: u64,
+    },
+}
+
+impl Registry {
+    /// Captures every family and series as owned plain data (see
+    /// [`RegistrySnapshot`]).
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let families = self
+            .families
+            .borrow()
+            .iter()
+            .map(|fam| FamilySnap {
+                name: fam.name.clone(),
+                help: fam.help.clone(),
+                series: fam
+                    .series
+                    .iter()
+                    .map(|(labels, s)| {
+                        let value = match s {
+                            Series::Counter(c) => ValueSnap::Counter(c.get()),
+                            Series::Gauge(g) => ValueSnap::Gauge(g.get()),
+                            Series::Histogram(h) => ValueSnap::Histogram {
+                                buckets: h.bucket_counts(),
+                                sum: h.sum(),
+                                count: h.count(),
+                            },
+                        };
+                        (labels.clone(), value)
+                    })
+                    .collect(),
+            })
+            .collect();
+        RegistrySnapshot { families }
+    }
+
+    /// Folds a snapshot into this registry, creating any missing families
+    /// and series. Counters and histograms are *additive* (values, bucket
+    /// counts, sums, and observation counts are summed — merging N worker
+    /// snapshots yields the same totals as one serial run recording
+    /// everything); gauges adopt the snapshot's value (last merge wins).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a metric name exists in both with different types.
+    pub fn merge(&self, snap: &RegistrySnapshot) {
+        for fam in &snap.families {
+            for (labels, value) in &fam.series {
+                let labels_ref: Vec<(&str, &str)> = labels
+                    .iter()
+                    .map(|(k, v)| (k.as_str(), v.as_str()))
+                    .collect();
+                match value {
+                    ValueSnap::Counter(v) => {
+                        self.counter(&fam.name, &fam.help, &labels_ref).add(*v);
+                    }
+                    ValueSnap::Gauge(v) => {
+                        self.gauge(&fam.name, &fam.help, &labels_ref).set(*v);
+                    }
+                    ValueSnap::Histogram {
+                        buckets,
+                        sum,
+                        count,
+                    } => {
+                        let h = self.histogram(&fam.name, &fam.help, &labels_ref);
+                        for (cell, add) in h.0.buckets.iter().zip(buckets) {
+                            cell.set(cell.get() + add);
+                        }
+                        h.0.sum.set(h.0.sum.get().wrapping_add(*sum));
+                        h.0.count.set(h.0.count.get() + count);
+                    }
+                }
+            }
+        }
+    }
+}
+
 fn sorted_labels(labels: &[(&str, &str)]) -> Vec<(String, String)> {
     let mut v: Vec<(String, String)> = labels
         .iter()
@@ -515,6 +633,68 @@ mod tests {
         assert!(text.contains("lat_cycles_bucket{level=\"llc\",le=\"+Inf\"} 1"));
         assert!(text.contains("lat_cycles_sum{level=\"llc\"} 30"));
         assert!(text.contains("lat_cycles_count{level=\"llc\"} 1"));
+    }
+
+    #[test]
+    fn snapshot_is_send_and_owns_its_data() {
+        fn assert_send<T: Send>() {}
+        assert_send::<RegistrySnapshot>();
+        let r = Registry::new();
+        r.counter("a_total", "a", &[("k", "v")]).add(3);
+        let snap = r.snapshot();
+        assert_eq!(snap.num_series(), 1);
+        // Mutating the registry after the snapshot must not change it.
+        r.counter("a_total", "a", &[("k", "v")]).add(10);
+        let fresh = Registry::new();
+        fresh.merge(&snap);
+        assert_eq!(fresh.counter_value("a_total", &[("k", "v")]), Some(3));
+    }
+
+    #[test]
+    fn merge_adds_counters_and_histograms_sets_gauges() {
+        let a = Registry::new();
+        a.counter("c_total", "c", &[]).add(2);
+        a.gauge("g", "g", &[]).set(1.5);
+        a.histogram("h", "h", &[]).observe(3);
+        a.histogram("h", "h", &[]).observe(100);
+
+        let b = Registry::new();
+        b.counter("c_total", "c", &[]).add(5);
+        b.gauge("g", "g", &[]).set(9.0);
+        b.histogram("h", "h", &[]).observe(3);
+
+        a.merge(&b.snapshot());
+        assert_eq!(a.counter_value("c_total", &[]), Some(7));
+        let h = a.histogram("h", "h", &[]);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 106);
+        assert_eq!(h.bucket_counts()[Histogram::bucket_index(3)], 2);
+        assert_eq!(a.gauge("g", "g", &[]).get(), 9.0);
+    }
+
+    #[test]
+    fn merging_n_snapshots_equals_serial_totals() {
+        let serial = Registry::new();
+        let merged = Registry::new();
+        for worker in 0..4u64 {
+            let w = Registry::new();
+            for v in 0..10u64 {
+                serial.counter("x_total", "x", &[]).add(worker + v);
+                w.counter("x_total", "x", &[]).add(worker + v);
+                serial.histogram("lat", "l", &[]).observe(v);
+                w.histogram("lat", "l", &[]).observe(v);
+            }
+            merged.merge(&w.snapshot());
+        }
+        assert_eq!(
+            merged.counter_value("x_total", &[]),
+            serial.counter_value("x_total", &[])
+        );
+        assert_eq!(
+            merged.histogram("lat", "l", &[]).bucket_counts(),
+            serial.histogram("lat", "l", &[]).bucket_counts()
+        );
+        assert_eq!(serial.render_prometheus(), merged.render_prometheus());
     }
 
     #[test]
