@@ -2,10 +2,10 @@
 //! evaluation.
 //!
 //! ```text
-//! experiments [--quick] [--telemetry] [--jobs N]
+//! experiments [--quick] [--telemetry] [--jobs N] [--max-failures N]
 //!             <all|table1|table2|fig7|fig8|fig9|fig10|security|rollover|
 //!              switchcost|other-attacks|ftm|area|ablation|telemetry-demo|
-//!              bench-sweep>
+//!              bench-sweep|fault-sweep>
 //! ```
 //!
 //! `--quick` shrinks the instruction budgets (useful for smoke-testing the
@@ -17,6 +17,11 @@
 //! `<id>_profile.json` / `<id>_manifest.json` under `results/` next to the
 //! experiment's CSV. `bench-sweep` times the SPEC sweep serially vs in
 //! parallel plus per-access simulator cost and writes `BENCH_sweep.json`.
+//! `fault-sweep` runs the fault-injection matrix (checkpointed to
+//! `fault_matrix.partial.jsonl`, so interrupted runs resume); it exits
+//! nonzero if any TimeCache cell violates the security invariant, if the
+//! baseline rows fail to exhibit the expected leak, or if more than
+//! `--max-failures` cells (default 0) keep panicking past the retry budget.
 
 use timecache_bench::runner::RunParams;
 use timecache_bench::{exp, sweep, telemetry};
@@ -25,9 +30,9 @@ use timecache_workloads::parsec::ParsecBenchmark;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments [--quick] [--telemetry] [--jobs N] <all|table1|table2|\
-         fig7|fig8|fig9|fig10|security|rollover|switchcost|other-attacks|ftm|area|\
-         ablation|telemetry-demo|bench-sweep>"
+        "usage: experiments [--quick] [--telemetry] [--jobs N] [--max-failures N] \
+         <all|table1|table2|fig7|fig8|fig9|fig10|security|rollover|switchcost|\
+         other-attacks|ftm|area|ablation|telemetry-demo|bench-sweep|fault-sweep>"
     );
     std::process::exit(2);
 }
@@ -65,6 +70,72 @@ fn parse_jobs(args: &mut Vec<String>) -> Option<usize> {
     jobs
 }
 
+/// Extracts `--max-failures N` / `--max-failures=N` from `args` (the
+/// `fault-sweep` failure tolerance; zero when absent).
+fn parse_max_failures(args: &mut Vec<String>) -> usize {
+    let mut max = 0;
+    let mut i = 0;
+    while i < args.len() {
+        let consumed = if args[i] == "--max-failures" {
+            let Some(value) = args.get(i + 1) else {
+                eprintln!("--max-failures requires a value");
+                usage();
+            };
+            match value.parse() {
+                Ok(n) => max = n,
+                Err(_) => {
+                    eprintln!("--max-failures expects a non-negative integer, got {value:?}");
+                    usage();
+                }
+            }
+            2
+        } else if let Some(value) = args[i].strip_prefix("--max-failures=") {
+            match value.parse() {
+                Ok(n) => max = n,
+                Err(_) => {
+                    eprintln!("--max-failures expects a non-negative integer, got {value:?}");
+                    usage();
+                }
+            }
+            1
+        } else {
+            i += 1;
+            continue;
+        };
+        args.drain(i..i + consumed);
+    }
+    max
+}
+
+/// Exit-code policy for `fault-sweep`: the run "passes" only if the matrix
+/// demonstrated what it claims — TimeCache invariant-clean, baseline
+/// demonstrably leaky, and no more worker failures than tolerated.
+fn fault_sweep_exit_code(
+    summary: &exp::fault_sweep::FaultSweepSummary,
+    max_failures: usize,
+) -> i32 {
+    let mut code = 0;
+    if summary.failures.len() > max_failures {
+        eprintln!(
+            "FAIL: {} worker failures exceed --max-failures {max_failures}",
+            summary.failures.len()
+        );
+        code = 1;
+    }
+    if summary.timecache_violations > 0 {
+        eprintln!(
+            "FAIL: {} invariant violations under TimeCache",
+            summary.timecache_violations
+        );
+        code = 1;
+    }
+    if summary.baseline_rows_completed > 0 && summary.baseline_violations == 0 {
+        eprintln!("FAIL: baseline rows completed without the expected leak");
+        code = 1;
+    }
+    code
+}
+
 fn announce_spec_sweep() {
     eprintln!(
         "running SPEC sweep ({} pairs, 2 modes, {} jobs)...",
@@ -89,6 +160,7 @@ fn main() {
     if let Some(jobs) = parse_jobs(&mut args) {
         sweep::set_jobs(jobs);
     }
+    let max_failures = parse_max_failures(&mut args);
     let which = args.first().map(String::as_str).unwrap_or_else(|| usage());
     let params = if quick {
         RunParams::quick()
@@ -99,6 +171,7 @@ fn main() {
         telemetry::enable();
     }
 
+    let mut exit_code = 0;
     match which {
         "table1" => exp::table1::run(),
         "table2" | "fig7" | "fig8" => {
@@ -129,6 +202,10 @@ fn main() {
         "ablation" => exp::ablation::run(&params),
         "telemetry-demo" => exp::telemetry_demo::run(&params),
         "bench-sweep" => exp::bench_sweep::run(&params),
+        "fault-sweep" => {
+            let summary = exp::fault_sweep::run(&params);
+            exit_code = fault_sweep_exit_code(&summary, max_failures);
+        }
         "all" => {
             exp::table1::run();
             announce_spec_sweep();
@@ -161,5 +238,8 @@ fn main() {
             }
             Err(e) => eprintln!("failed to write telemetry artifacts: {e}"),
         }
+    }
+    if exit_code != 0 {
+        std::process::exit(exit_code);
     }
 }

@@ -4,6 +4,7 @@
 pub mod ablation;
 pub mod area;
 pub mod bench_sweep;
+pub mod fault_sweep;
 pub mod fig10;
 pub mod fig7;
 pub mod fig8;

@@ -27,6 +27,13 @@
 //!   software at context switches — [`Snapshot`];
 //! * everything glued together per cache level by [`TimeCacheState`].
 //!
+//! For robustness work the crate also ships a deterministic, seed-driven
+//! [`FaultInjector`] that strikes the mechanism's rare paths (rollover,
+//! snapshot save/restore, the comparator sweep) so harnesses can prove the
+//! defense degrades conservatively — never to a stale hit — under faults;
+//! see [`fault`](crate::FaultInjector) and
+//! [`TimeCacheState::restore_context_faulty`].
+//!
 //! # Quick start
 //!
 //! ```
@@ -54,7 +61,9 @@
 mod area;
 mod comparator;
 mod config;
+mod fault;
 mod limited;
+mod rng;
 mod sbit;
 mod snapshot;
 mod state;
@@ -64,7 +73,9 @@ mod transpose;
 pub use area::AreaModel;
 pub use comparator::{BitSerialComparator, CompareOutcome};
 pub use config::{SharerTracking, TimeCacheConfig};
+pub use fault::{FaultInjector, FaultKind, FaultPlan, FaultRecord, TriggerPoint};
 pub use limited::LimitedPointers;
+pub use rng::FastRng;
 pub use sbit::SBitArray;
 pub use snapshot::Snapshot;
 pub use state::{RestoreOutcome, TimeCacheState, Visibility};

@@ -38,16 +38,41 @@ pub struct Snapshot {
     /// a wrap the truncated hardware comparison alone cannot see.
     raw_ts: u64,
     width: TimestampWidth,
+    /// FNV-1a over the s-bit words, `Ts`, and the counter width, computed
+    /// at save time. The restore path re-derives it and treats any mismatch
+    /// (bit rot, misdirected DMA while the snapshot sat in kernel memory)
+    /// as "snapshot lost", degrading to the conservative full s-bit reset.
+    checksum: u64,
 }
 
 impl Snapshot {
     /// Assembles a snapshot from saved s-bits, the full-precision preemption
     /// cycle count, and the hardware counter width.
     pub fn new(sbits: SBitArray, raw_ts: u64, width: TimestampWidth) -> Self {
+        let checksum = integrity_checksum(&sbits, raw_ts, width);
         Snapshot {
             sbits,
             raw_ts,
             width,
+            checksum,
+        }
+    }
+
+    /// Assembles a snapshot carrying a caller-supplied checksum, bypassing
+    /// recomputation. Only the fault injector uses this: it lets a corrupted
+    /// snapshot keep the checksum of its honest original, exactly as bit rot
+    /// in kernel memory would.
+    pub(crate) fn from_raw_parts(
+        sbits: SBitArray,
+        raw_ts: u64,
+        width: TimestampWidth,
+        checksum: u64,
+    ) -> Self {
+        Snapshot {
+            sbits,
+            raw_ts,
+            width,
+            checksum,
         }
     }
 
@@ -65,6 +90,44 @@ impl Snapshot {
     /// The full-precision preemption cycle count kept by software.
     pub fn raw_ts(&self) -> u64 {
         self.raw_ts
+    }
+
+    /// The integrity checksum stored at save time.
+    pub fn checksum(&self) -> u64 {
+        self.checksum
+    }
+
+    /// Whether the stored checksum still matches the snapshot's contents.
+    /// `false` means the snapshot was corrupted while at rest and must not
+    /// be trusted: restore degrades to a conservative full s-bit reset.
+    pub fn integrity_ok(&self) -> bool {
+        self.checksum == integrity_checksum(&self.sbits, self.raw_ts, self.width)
+    }
+
+    /// The software half of rollover detection alone: have the truncated
+    /// counter epochs of preemption and resumption diverged? This is
+    /// equivalent to [`Snapshot::rollover_since`] (epoch equal ⇒ no wrap at
+    /// all; epoch differing by less than a period ⇒ the hardware comparison
+    /// fires; by a period or more ⇒ the software elapsed-time check fires),
+    /// but needs only the kernel's full-precision `Ts` — which is what lets
+    /// trusted software cross-check a hardware rollover signal that a fault
+    /// (or an attacker glitch) has suppressed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now_raw` is earlier than the preemption time (time must be
+    /// monotonic).
+    pub fn software_rollover_since(&self, now_raw: u64) -> bool {
+        assert!(
+            now_raw >= self.raw_ts,
+            "resumption time {now_raw} precedes preemption time {}",
+            self.raw_ts
+        );
+        match self.width.period() {
+            // A 64-bit counter never wraps within u64 simulated time.
+            None => false,
+            Some(_) => (now_raw >> self.width.bits()) != (self.raw_ts >> self.width.bits()),
+        }
     }
 
     /// Rollover detection performed at resumption, combining the hardware
@@ -105,6 +168,25 @@ impl Snapshot {
     pub fn transfer_lines(&self) -> usize {
         self.sbits.storage_bytes().div_ceil(64).max(1)
     }
+}
+
+/// FNV-1a over the snapshot's words, preemption time, and counter width.
+fn integrity_checksum(sbits: &SBitArray, raw_ts: u64, width: TimestampWidth) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+    let mut hash = OFFSET;
+    let mut mix = |value: u64| {
+        for byte in value.to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(PRIME);
+        }
+    };
+    for &word in sbits.words() {
+        mix(word);
+    }
+    mix(raw_ts);
+    mix(u64::from(width.bits()));
+    hash
 }
 
 #[cfg(test)]
@@ -156,5 +238,62 @@ mod tests {
     fn non_monotonic_time_rejected() {
         let s = Snapshot::new(SBitArray::new(8), 100, TimestampWidth::new(8));
         s.rollover_since(99);
+    }
+
+    #[test]
+    fn fresh_snapshot_passes_integrity() {
+        let mut sbits = SBitArray::new(130);
+        sbits.set(7);
+        sbits.set(129);
+        let s = Snapshot::new(sbits, 42, TimestampWidth::new(8));
+        assert!(s.integrity_ok());
+        assert_eq!(s.clone().checksum(), s.checksum());
+    }
+
+    #[test]
+    fn tampered_snapshot_fails_integrity() {
+        let honest = Snapshot::new(SBitArray::new(64), 42, TimestampWidth::new(8));
+        let mut tampered_bits = honest.sbits().clone();
+        tampered_bits.set(3);
+        let tampered = Snapshot::from_raw_parts(
+            tampered_bits,
+            honest.raw_ts(),
+            TimestampWidth::new(8),
+            honest.checksum(),
+        );
+        assert!(!tampered.integrity_ok());
+        // A tampered Ts is caught just as well.
+        let bad_ts = Snapshot::from_raw_parts(
+            honest.sbits().clone(),
+            43,
+            TimestampWidth::new(8),
+            honest.checksum(),
+        );
+        assert!(!bad_ts.integrity_ok());
+    }
+
+    #[test]
+    fn software_rollover_matches_combined_check() {
+        // Equivalence claimed in the doc comment: for every (save, resume)
+        // pair on a small counter the epoch comparison agrees with the
+        // hardware-or-software combined check.
+        let w = TimestampWidth::new(4); // period 16
+        for ts in 0..64u64 {
+            for now in ts..ts + 48 {
+                let s = Snapshot::new(SBitArray::new(8), ts, w);
+                assert_eq!(
+                    s.software_rollover_since(now),
+                    s.rollover_since(now),
+                    "ts={ts} now={now}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn software_rollover_on_64_bit_counter_is_never() {
+        let s = Snapshot::new(SBitArray::new(8), u64::MAX - 1, TimestampWidth::new(64));
+        assert!(!s.software_rollover_since(u64::MAX));
+        assert!(!s.rollover_since(u64::MAX));
     }
 }

@@ -7,6 +7,7 @@
 
 use crate::comparator::BitSerialComparator;
 use crate::config::{SharerTracking, TimeCacheConfig};
+use crate::fault::{FaultInjector, FaultKind, TriggerPoint};
 use crate::limited::LimitedPointers;
 use crate::sbit::SBitArray;
 use crate::snapshot::Snapshot;
@@ -40,6 +41,11 @@ pub struct RestoreOutcome {
     pub comparator_cycles: u64,
     /// 64-byte transfers performed to restore the snapshot from memory.
     pub transfer_lines: usize,
+    /// Whether a fault forced this restore to fall back to the conservative
+    /// full s-bit reset (lost/corrupt snapshot, comparator glitch, or a
+    /// suppressed-but-real rollover caught by the software cross-check).
+    /// Always `false` on the fault-free path.
+    pub degraded: bool,
 }
 
 /// The visibility representation behind a [`TimeCacheState`]: the paper's
@@ -301,15 +307,57 @@ impl TimeCacheState {
         snapshot: Option<&Snapshot>,
         now: u64,
     ) -> RestoreOutcome {
+        self.restore_context_faulty(ctx, snapshot, now, &FaultInjector::disabled())
+    }
+
+    /// [`TimeCacheState::restore_context`] under fault injection.
+    ///
+    /// The injector may strike anywhere in the restore choreography; every
+    /// strike degrades to the conservative full s-bit reset (or, for
+    /// [`FaultKind::ForceRollover`], is conservative by construction) and is
+    /// **never** allowed to leave a stale s-bit visible:
+    ///
+    /// * a dropped snapshot restores as a fresh process;
+    /// * a corrupted snapshot is caught by [`Snapshot::integrity_ok`];
+    /// * a suppressed rollover signal ([`FaultKind::DeferRollover`]) is
+    ///   cross-checked against the kernel's full-precision `Ts` via
+    ///   [`Snapshot::software_rollover_since`];
+    /// * a glitched comparator mask is caught by running the bit-serial
+    ///   sweep twice and comparing the masks (dual modular redundancy),
+    ///   at twice the comparator cycle cost.
+    ///
+    /// With a disabled injector this is exactly
+    /// [`TimeCacheState::restore_context`].
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`TimeCacheState::restore_context`].
+    pub fn restore_context_faulty(
+        &mut self,
+        ctx: usize,
+        snapshot: Option<&Snapshot>,
+        now: u64,
+        faults: &FaultInjector,
+    ) -> RestoreOutcome {
         assert!(ctx < self.num_contexts, "context {ctx} out of range");
-        let Some(snap) = snapshot else {
+        let dropped =
+            snapshot.is_some() && faults.fire(FaultKind::DropSnapshot, TriggerPoint::Restore);
+        let Some(snap) = snapshot.filter(|_| !dropped) else {
             let before = self.sharers.clear_ctx(ctx);
             return RestoreOutcome {
                 rollover: false,
                 sbits_reset: before,
                 comparator_cycles: 0,
                 transfer_lines: 0,
+                degraded: dropped,
             };
+        };
+        let corrupted;
+        let snap = if faults.fire(FaultKind::CorruptSnapshot, TriggerPoint::Restore) {
+            corrupted = faults.corrupt_snapshot(snap);
+            &corrupted
+        } else {
+            snap
         };
         assert_eq!(
             snap.sbits().len(),
@@ -325,7 +373,36 @@ impl TimeCacheState {
             "snapshot timestamp width mismatch"
         );
 
-        if snap.rollover_since(now) {
+        // Trusted software verifies the snapshot survived its stay in kernel
+        // memory; on mismatch nothing it says can be believed, so restore as
+        // a fresh process.
+        if !snap.integrity_ok() {
+            faults.note_detected();
+            let before = self.sharers.clear_ctx(ctx);
+            return RestoreOutcome {
+                rollover: false,
+                sbits_reset: before,
+                comparator_cycles: 0,
+                transfer_lines: snap.transfer_lines(),
+                degraded: true,
+            };
+        }
+
+        let deferred = faults.fire(FaultKind::DeferRollover, TriggerPoint::Rollover);
+        let rollover_signal = if deferred {
+            // The hardware signal is stuck low; the kernel cross-checks with
+            // its full-precision Ts, which detects exactly the same wraps.
+            let real = snap.software_rollover_since(now);
+            if real {
+                faults.note_detected();
+            }
+            real
+        } else {
+            snap.rollover_since(now)
+        };
+        let forced =
+            !rollover_signal && faults.fire(FaultKind::ForceRollover, TriggerPoint::Rollover);
+        if rollover_signal || forced {
             let restored = snap.sbits().count_set();
             self.sharers.clear_ctx(ctx);
             return RestoreOutcome {
@@ -333,17 +410,36 @@ impl TimeCacheState {
                 sbits_reset: restored,
                 comparator_cycles: 0,
                 transfer_lines: snap.transfer_lines(),
+                degraded: (deferred && rollover_signal) || forced,
             };
         }
 
         self.sharers.load(ctx, snap.sbits());
         let outcome = BitSerialComparator::compare(&self.tc, snap.ts());
+        if faults.fire(FaultKind::FlipComparator, TriggerPoint::Compare) {
+            // Dual modular redundancy: the sweep runs twice and the masks
+            // must agree. A glitched copy disagrees with the clean one, so
+            // the comparator result is distrusted and the context fully
+            // reset — at twice the sweep's cycle cost.
+            let mut flipped = outcome.reset_mask.clone();
+            faults.corrupt_mask(&mut flipped);
+            faults.note_detected();
+            let before = self.sharers.clear_ctx(ctx);
+            return RestoreOutcome {
+                rollover: false,
+                sbits_reset: before,
+                comparator_cycles: outcome.cycles * 2,
+                transfer_lines: snap.transfer_lines(),
+                degraded: true,
+            };
+        }
         let reset = self.sharers.apply_reset_mask(ctx, &outcome.reset_mask);
         RestoreOutcome {
             rollover: false,
             sbits_reset: reset,
             comparator_cycles: outcome.cycles,
             transfer_lines: snap.transfer_lines(),
+            degraded: false,
         }
     }
 
@@ -530,5 +626,177 @@ mod tests {
         let b = state(16, 1, 32);
         let snap = b.save_context(0, 0);
         a.restore_context(0, Some(&snap), 0);
+    }
+
+    // --- rollover edge cases (satellite: ISSUE 3) ---
+
+    #[test]
+    fn ts_equals_tc_tie_at_restore_keeps_visibility() {
+        // Fill and preempt at the same cycle: Tc == Ts. The comparator
+        // resets only Tc > Ts (strict), so the line the process itself
+        // filled at the preemption instant stays visible — it paid for it.
+        let mut tc = state(8, 1, 32);
+        tc.on_fill(0, 0, 100);
+        let snap = tc.save_context(0, 100);
+        tc.restore_context(0, None, 100);
+        let out = tc.restore_context(0, Some(&snap), 100);
+        assert!(!out.rollover);
+        assert_eq!(out.sbits_reset, 0);
+        assert_eq!(tc.visibility(0, 0), Visibility::Visible);
+    }
+
+    #[test]
+    fn wrap_exactly_at_u64_max_on_full_width_counter() {
+        // A 64-bit counter never rolls over within u64 simulated time, even
+        // at the very top of the range.
+        let mut tc = state(8, 1, 64);
+        tc.on_fill(0, 0, u64::MAX - 10);
+        let snap = tc.save_context(0, u64::MAX - 5);
+        tc.restore_context(0, None, u64::MAX - 5);
+        let out = tc.restore_context(0, Some(&snap), u64::MAX);
+        assert!(!out.rollover);
+        assert_eq!(tc.visibility(0, 0), Visibility::Visible);
+    }
+
+    #[test]
+    fn double_rollover_within_one_preemption_detected() {
+        // 8-bit counter (period 256) preempted for two full periods plus a
+        // bit: truncated values look forward-moving (15 >= 10), so only the
+        // software elapsed-time check catches it.
+        let mut tc = state(8, 1, 8);
+        tc.on_fill(0, 0, 5);
+        let snap = tc.save_context(0, 10);
+        tc.restore_context(0, None, 10);
+        let out = tc.restore_context(0, Some(&snap), 10 + 2 * 256 + 5);
+        assert!(out.rollover);
+        assert_eq!(tc.visibility(0, 0), Visibility::FirstAccess);
+    }
+
+    // --- fault-injection paths ---
+
+    use crate::fault::{FaultPlan, TriggerPoint as Tp};
+
+    /// A state with one visible line (filled by ctx 0 at `fill`), saved at
+    /// `save`, with another process's fill at `other` in between.
+    fn faulted_scenario(
+        ts_bits: u8,
+        fill: u64,
+        save: u64,
+        other: u64,
+    ) -> (TimeCacheState, Snapshot) {
+        let mut tc = state(8, 1, ts_bits);
+        tc.on_fill(0, 0, fill);
+        let snap = tc.save_context(0, save);
+        tc.restore_context(0, None, save);
+        tc.on_evict(1);
+        tc.on_fill(1, 0, other);
+        (tc, snap)
+    }
+
+    #[test]
+    fn dropped_snapshot_degrades_to_fresh_reset() {
+        let (mut tc, snap) = faulted_scenario(32, 10, 100, 150);
+        let inj = FaultInjector::new(FaultPlan::new(FaultKind::DropSnapshot, Tp::Restore, 1));
+        let out = tc.restore_context_faulty(0, Some(&snap), 200, &inj);
+        assert!(out.degraded);
+        assert_eq!(out.transfer_lines, 0);
+        // Conservative: even the process's own line must be re-paid.
+        assert_eq!(tc.visibility(0, 0), Visibility::FirstAccess);
+        assert_eq!(tc.visibility(1, 0), Visibility::FirstAccess);
+        assert_eq!(inj.injected(), 1);
+    }
+
+    #[test]
+    fn corrupted_snapshot_is_detected_and_fully_reset() {
+        let (mut tc, snap) = faulted_scenario(32, 10, 100, 150);
+        let inj = FaultInjector::new(FaultPlan::new(FaultKind::CorruptSnapshot, Tp::Restore, 2));
+        let out = tc.restore_context_faulty(0, Some(&snap), 200, &inj);
+        assert!(out.degraded);
+        assert!(!out.rollover);
+        assert_eq!(tc.visibility(0, 0), Visibility::FirstAccess);
+        assert_eq!(tc.visibility(1, 0), Visibility::FirstAccess);
+        assert_eq!(inj.detected(), 1, "checksum must catch the corruption");
+    }
+
+    #[test]
+    fn forced_rollover_is_conservative_not_leaky() {
+        let (mut tc, snap) = faulted_scenario(32, 10, 100, 150);
+        let inj = FaultInjector::new(FaultPlan::new(FaultKind::ForceRollover, Tp::Rollover, 3));
+        let out = tc.restore_context_faulty(0, Some(&snap), 200, &inj);
+        assert!(out.rollover);
+        assert!(out.degraded);
+        assert_eq!(tc.visibility(0, 0), Visibility::FirstAccess);
+    }
+
+    #[test]
+    fn deferred_rollover_is_caught_by_software_cross_check() {
+        // Real rollover (8-bit counter, resume past the wrap) with the
+        // hardware signal suppressed: the kernel's full-precision Ts check
+        // must still force the full reset.
+        let (mut tc, snap) = faulted_scenario(8, 200, 250, 300);
+        let inj = FaultInjector::new(FaultPlan::new(FaultKind::DeferRollover, Tp::Rollover, 4));
+        let out = tc.restore_context_faulty(0, Some(&snap), 310, &inj);
+        assert!(out.rollover, "software cross-check must fire");
+        assert!(out.degraded);
+        assert_eq!(tc.visibility(0, 0), Visibility::FirstAccess);
+        assert_eq!(tc.visibility(1, 0), Visibility::FirstAccess);
+        assert_eq!(inj.detected(), 1);
+    }
+
+    #[test]
+    fn deferred_rollover_without_real_rollover_changes_nothing() {
+        let (mut tc, snap) = faulted_scenario(32, 10, 100, 150);
+        let inj = FaultInjector::new(FaultPlan::new(FaultKind::DeferRollover, Tp::Rollover, 5));
+        let out = tc.restore_context_faulty(0, Some(&snap), 200, &inj);
+        assert!(!out.rollover);
+        assert!(!out.degraded);
+        // Normal comparator outcome: own old line visible, other's reset.
+        assert_eq!(tc.visibility(0, 0), Visibility::Visible);
+        assert_eq!(tc.visibility(1, 0), Visibility::FirstAccess);
+    }
+
+    #[test]
+    fn comparator_glitch_is_detected_by_redundant_sweep() {
+        let (mut tc, snap) = faulted_scenario(32, 10, 100, 150);
+        let clean = {
+            let (mut tc2, snap2) = faulted_scenario(32, 10, 100, 150);
+            tc2.restore_context(0, Some(&snap2), 200)
+        };
+        let inj = FaultInjector::new(FaultPlan::new(FaultKind::FlipComparator, Tp::Compare, 6));
+        let out = tc.restore_context_faulty(0, Some(&snap), 200, &inj);
+        assert!(out.degraded);
+        assert_eq!(out.comparator_cycles, clean.comparator_cycles * 2);
+        assert_eq!(tc.visibility(0, 0), Visibility::FirstAccess);
+        assert_eq!(tc.visibility(1, 0), Visibility::FirstAccess);
+        assert_eq!(inj.detected(), 1);
+    }
+
+    #[test]
+    fn rollover_during_injected_mid_save_abort_stays_safe() {
+        // Satellite rollover edge: a save aborts (snapshot discarded by the
+        // OS), then the counter rolls over before the process resumes. The
+        // resume restores as a fresh process — the strictest possible
+        // degradation — so the wrap cannot matter.
+        let mut tc = state(8, 1, 8);
+        tc.on_fill(0, 0, 200);
+        // Save aborted: the OS keeps no snapshot (None). Another tenant
+        // fills line 1 across the wrap.
+        tc.restore_context(0, None, 250);
+        tc.on_fill(1, 0, 300);
+        let out = tc.restore_context(0, None, 320);
+        assert!(!out.rollover);
+        assert_eq!(tc.visibility(0, 0), Visibility::FirstAccess);
+        assert_eq!(tc.visibility(1, 0), Visibility::FirstAccess);
+        assert_eq!(out.transfer_lines, 0);
+    }
+
+    #[test]
+    fn faulty_restore_with_disabled_injector_matches_plain_restore() {
+        let (mut a, snap_a) = faulted_scenario(32, 10, 100, 150);
+        let (mut b, snap_b) = faulted_scenario(32, 10, 100, 150);
+        let plain = a.restore_context(0, Some(&snap_a), 200);
+        let faulty = b.restore_context_faulty(0, Some(&snap_b), 200, &FaultInjector::disabled());
+        assert_eq!(plain, faulty);
+        assert!(!plain.degraded);
     }
 }

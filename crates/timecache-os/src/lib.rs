@@ -34,6 +34,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod error;
+pub mod invariant;
 mod metrics;
 mod process;
 mod program;
@@ -43,6 +45,7 @@ mod system;
 pub mod trace;
 pub mod vm;
 
+pub use error::OsError;
 pub use metrics::{ProcessMetrics, RunReport};
 pub use process::{Pid, Process};
 pub use program::{DataKind, Observation, Op, Program};

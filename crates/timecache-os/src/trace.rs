@@ -10,6 +10,7 @@
 //! serialization (one op per line) keeps traces diffable and
 //! storable as fixtures.
 
+use crate::error::OsError;
 use crate::program::{DataKind, Observation, Op, Program};
 use std::cell::RefCell;
 use std::fmt::Write as _;
@@ -96,8 +97,9 @@ impl Trace {
     ///
     /// # Errors
     ///
-    /// Returns a description of the first malformed line.
-    pub fn from_text(text: &str) -> Result<Self, String> {
+    /// Returns [`OsError::TraceParse`] describing the first malformed
+    /// line (its `Display` keeps the historical `line N: ...` shape).
+    pub fn from_text(text: &str) -> Result<Self, OsError> {
         let mut ops = Vec::new();
         for (no, line) in text.lines().enumerate() {
             let line = line.trim();
@@ -106,12 +108,15 @@ impl Trace {
             }
             let mut parts = line.split_whitespace();
             let tag = parts.next().expect("nonempty line");
-            let mut hex = |name: &str| -> Result<u64, String> {
-                let tok = parts
-                    .next()
-                    .ok_or_else(|| format!("line {}: missing {name}", no + 1))?;
-                u64::from_str_radix(tok, 16)
-                    .map_err(|e| format!("line {}: bad {name} ({e})", no + 1))
+            let mut hex = |name: &str| -> Result<u64, OsError> {
+                let tok = parts.next().ok_or_else(|| OsError::TraceParse {
+                    line: no + 1,
+                    message: format!("missing {name}"),
+                })?;
+                u64::from_str_radix(tok, 16).map_err(|e| OsError::TraceParse {
+                    line: no + 1,
+                    message: format!("bad {name} ({e})"),
+                })
             };
             let op = match tag {
                 "I" => Op::Instr {
@@ -132,7 +137,12 @@ impl Trace {
                 },
                 "Y" => Op::Yield { pc: hex("pc")? },
                 "D" => Op::Done,
-                other => return Err(format!("line {}: unknown tag {other:?}", no + 1)),
+                other => {
+                    return Err(OsError::TraceParse {
+                        line: no + 1,
+                        message: format!("unknown tag {other:?}"),
+                    })
+                }
             };
             ops.push(op);
         }
@@ -263,13 +273,18 @@ mod tests {
 
     #[test]
     fn parser_reports_bad_lines() {
-        assert!(Trace::from_text("X 10")
-            .unwrap_err()
-            .contains("unknown tag"));
+        // Errors are typed now; Display keeps the historical text.
+        let err = Trace::from_text("X 10").unwrap_err();
+        assert!(matches!(err, crate::OsError::TraceParse { line: 1, .. }));
+        assert!(err.to_string().contains("unknown tag"));
         assert!(Trace::from_text("L 10")
             .unwrap_err()
+            .to_string()
             .contains("missing addr"));
-        assert!(Trace::from_text("L zz 10").unwrap_err().contains("bad pc"));
+        assert_eq!(
+            Trace::from_text("I 10\nL zz 10").unwrap_err().to_string(),
+            "line 2: bad pc (invalid digit found in string)"
+        );
     }
 
     #[test]

@@ -274,6 +274,21 @@ impl Cache {
             .map(|tc| tc.restore_context(ctx, snapshot, now))
     }
 
+    /// [`Cache::restore_context`] under fault injection; see
+    /// [`TimeCacheState::restore_context_faulty`]. Returns `None` in
+    /// baseline mode.
+    pub fn restore_context_faulty(
+        &mut self,
+        ctx: usize,
+        snapshot: Option<&Snapshot>,
+        now: u64,
+        faults: &timecache_core::FaultInjector,
+    ) -> Option<timecache_core::RestoreOutcome> {
+        self.timecache
+            .as_mut()
+            .map(|tc| tc.restore_context_faulty(ctx, snapshot, now, faults))
+    }
+
     /// Read-only view of the TimeCache state (None in baseline mode).
     pub fn timecache(&self) -> Option<&TimeCacheState> {
         self.timecache.as_ref()

@@ -28,7 +28,9 @@ use crate::addr::{Addr, LineAddr};
 use crate::cache::Cache;
 use crate::config::{ConfigError, HierarchyConfig, SecurityMode};
 use crate::stats::HierarchyStats;
-use timecache_core::{Snapshot, TimeCacheConfig, Visibility};
+use timecache_core::{
+    FaultInjector, FaultKind, Snapshot, TimeCacheConfig, TriggerPoint, Visibility,
+};
 use timecache_telemetry::{AccessOp, Counter, Histogram, ServedBy, Telemetry, TraceEvent};
 
 /// The kind of memory access a core performs.
@@ -303,6 +305,9 @@ pub struct Hierarchy {
     /// Telemetry sensors; `None` (the default) keeps the hot path free of
     /// any instrumentation work beyond this one branch.
     sensors: Option<Box<SimSensors>>,
+    /// Fault injector striking the save/restore paths; disabled (one cheap
+    /// branch per probe site) unless [`Hierarchy::attach_faults`] is called.
+    faults: FaultInjector,
 }
 
 impl Hierarchy {
@@ -344,6 +349,7 @@ impl Hierarchy {
             tc_cfg,
             line_shift,
             sensors: None,
+            faults: FaultInjector::disabled(),
         })
     }
 
@@ -356,6 +362,13 @@ impl Hierarchy {
     /// access hot path performs no allocation or registry lookups.
     pub fn attach_telemetry(&mut self, tel: &Telemetry) {
         self.sensors = SimSensors::create(tel);
+    }
+
+    /// Attaches a [`FaultInjector`] whose plan targets the context-switch
+    /// save/restore choreography. The handle is shared (cloned), so the
+    /// caller keeps access to the injection counters and records.
+    pub fn attach_faults(&mut self, faults: &FaultInjector) {
+        self.faults = faults.clone();
     }
 
     /// The configuration the hierarchy was built with.
@@ -584,11 +597,30 @@ impl Hierarchy {
             // core across context switches (which is exactly its weakness).
             return ContextSnapshot::default();
         }
-        ContextSnapshot {
+        if self
+            .faults
+            .fire(FaultKind::DropSnapshot, TriggerPoint::Save)
+        {
+            // DMA to kernel memory failed wholesale: nothing was saved. The
+            // process will restore as fresh — conservative, never stale.
+            return ContextSnapshot::default();
+        }
+        let mut snap = ContextSnapshot {
             l1i: self.l1i[core].save_context(thread, now),
             l1d: self.l1d[core].save_context(thread, now),
             llc: self.llc.save_context(self.llc_ctx(core, thread), now),
+        };
+        if self
+            .faults
+            .fire(FaultKind::CorruptSnapshot, TriggerPoint::Save)
+        {
+            // One strike corrupts every level's copy; each keeps the honest
+            // checksum, so the restore-side integrity check catches it.
+            snap.l1i = snap.l1i.as_ref().map(|s| self.faults.corrupt_snapshot(s));
+            snap.l1d = snap.l1d.as_ref().map(|s| self.faults.corrupt_snapshot(s));
+            snap.llc = snap.llc.as_ref().map(|s| self.faults.corrupt_snapshot(s));
         }
+        snap
     }
 
     /// Restores a process's caching context onto `(core, thread)`;
@@ -606,6 +638,8 @@ impl Hierarchy {
         if self.cfg.security.is_ftm() {
             return cost;
         }
+        // Cloned up front: the parts array mutably borrows self's caches.
+        let faults = self.faults.clone();
         let llc_ctx = self.llc_ctx(core, thread);
         let parts: [(&mut Cache, usize, Option<&Snapshot>); 3] = [
             (
@@ -625,7 +659,7 @@ impl Hierarchy {
             ),
         ];
         for (cache, ctx, snap) in parts {
-            if let Some(out) = cache.restore_context(ctx, snap, now) {
+            if let Some(out) = cache.restore_context_faulty(ctx, snap, now, &faults) {
                 cost.comparator_cycles = cost.comparator_cycles.max(out.comparator_cycles);
                 cost.transfer_lines += out.transfer_lines as u64;
                 cost.rollover |= out.rollover;
@@ -1211,5 +1245,53 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn bad_core_rejected() {
         hier(SecurityMode::Baseline, 1).save_context(1, 0, 0);
+    }
+
+    #[test]
+    fn save_time_corruption_is_caught_at_restore() {
+        use timecache_core::{FaultPlan, TriggerPoint};
+
+        let mut h = hier(tc(), 1);
+        let inj = FaultInjector::new(FaultPlan::new(
+            FaultKind::CorruptSnapshot,
+            TriggerPoint::Save,
+            0xBAD,
+        ));
+        h.attach_faults(&inj);
+
+        // Process A loads a line, then is preempted; the save is corrupted
+        // in flight.
+        h.access(0, 0, AccessKind::Load, 0x9000, 100);
+        let snap_a = h.save_context(0, 0, 200);
+        assert_eq!(inj.injected(), 1);
+        h.restore_context(0, 0, None, 200);
+
+        // A resumes: the checksum mismatch must force a full reset, so even
+        // A's own line costs a first access again — degraded, never stale.
+        h.restore_context(0, 0, Some(&snap_a), 300);
+        assert_eq!(inj.detected(), 3, "all three levels detected");
+        let a = h.access(0, 0, AccessKind::Load, 0x9000, 400);
+        assert!(a.l1_tag_hit);
+        assert!(a.first_access_l1);
+    }
+
+    #[test]
+    fn save_time_drop_restores_as_fresh() {
+        use timecache_core::{FaultPlan, TriggerPoint};
+
+        let mut h = hier(tc(), 1);
+        let inj = FaultInjector::new(FaultPlan::new(
+            FaultKind::DropSnapshot,
+            TriggerPoint::Save,
+            7,
+        ));
+        h.attach_faults(&inj);
+        h.access(0, 0, AccessKind::Load, 0x9000, 100);
+        let snap_a = h.save_context(0, 0, 200);
+        assert_eq!(snap_a.storage_bytes(), 0, "nothing was saved");
+        h.restore_context(0, 0, None, 200);
+        h.restore_context(0, 0, Some(&snap_a), 300);
+        let a = h.access(0, 0, AccessKind::Load, 0x9000, 400);
+        assert!(a.first_access_l1, "fresh restore: own line re-paid");
     }
 }

@@ -159,6 +159,30 @@ pub enum TraceEvent {
         /// Whether the attacker classified it as a hit.
         hit: bool,
     },
+    /// The fault injector struck. `detected` records whether the defense
+    /// explicitly caught the fault (checksum / redundancy / software
+    /// rollover cross-check) rather than being conservative by construction.
+    FaultInjected {
+        /// Fault kind name ("drop_snapshot", "flip_comparator", ...).
+        kind: &'static str,
+        /// Trigger point name ("save", "restore", "compare", "rollover").
+        trigger: &'static str,
+        /// Whether the defense explicitly detected the fault.
+        detected: bool,
+    },
+    /// The security-invariant checker caught a process observing a
+    /// hit-latency access to a line it has not itself paid a first-access
+    /// miss for since its `Ts` — a defense failure.
+    InvariantViolation {
+        /// The observing process.
+        pid: u32,
+        /// The line address (line-granular, not byte).
+        line: u64,
+        /// The observed (too fast) latency in cycles.
+        latency: u64,
+        /// The component that serviced the access.
+        served_by: ServedBy,
+    },
 }
 
 impl TraceEvent {
@@ -173,6 +197,8 @@ impl TraceEvent {
             TraceEvent::SwitchRestore { .. } => "switch_restore",
             TraceEvent::RolloverReset { .. } => "rollover_reset",
             TraceEvent::Probe { .. } => "probe",
+            TraceEvent::FaultInjected { .. } => "fault_injected",
+            TraceEvent::InvariantViolation { .. } => "invariant_violation",
         }
     }
 }
@@ -370,6 +396,29 @@ fn write_record(out: &mut String, rec: &EventRecord) {
             encode::json_string(out, attack);
             let _ = write!(out, ",\"latency\":{latency},\"hit\":{hit}");
         }
+        TraceEvent::FaultInjected {
+            kind,
+            trigger,
+            detected,
+        } => {
+            let _ = write!(out, ",\"kind\":");
+            encode::json_string(out, kind);
+            let _ = write!(out, ",\"trigger\":");
+            encode::json_string(out, trigger);
+            let _ = write!(out, ",\"detected\":{detected}");
+        }
+        TraceEvent::InvariantViolation {
+            pid,
+            line,
+            latency,
+            served_by,
+        } => {
+            let _ = write!(
+                out,
+                ",\"pid\":{pid},\"line\":{line},\"latency\":{latency},\"served_by\":\"{}\"",
+                served_by.as_str()
+            );
+        }
     }
     out.push('}');
 }
@@ -445,6 +494,37 @@ mod tests {
         for line in lines {
             assert!(line.starts_with('{') && line.ends_with('}'));
         }
+    }
+
+    #[test]
+    fn robustness_events_export_as_jsonl() {
+        let t = Tracer::with_capacity(4);
+        t.record(
+            10,
+            TraceEvent::FaultInjected {
+                kind: "corrupt_snapshot",
+                trigger: "restore",
+                detected: true,
+            },
+        );
+        t.record(
+            11,
+            TraceEvent::InvariantViolation {
+                pid: 3,
+                line: 0x40,
+                latency: 2,
+                served_by: ServedBy::L1,
+            },
+        );
+        let jsonl = t.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert!(lines[0].contains("\"type\":\"fault_injected\""));
+        assert!(lines[0].contains("\"kind\":\"corrupt_snapshot\""));
+        assert!(lines[0].contains("\"trigger\":\"restore\""));
+        assert!(lines[0].contains("\"detected\":true"));
+        assert!(lines[1].contains("\"type\":\"invariant_violation\""));
+        assert!(lines[1].contains("\"pid\":3"));
+        assert!(lines[1].contains("\"served_by\":\"l1\""));
     }
 
     #[test]
