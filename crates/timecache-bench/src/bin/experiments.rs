@@ -5,7 +5,7 @@
 //! experiments [--quick] [--telemetry] [--jobs N] [--max-failures N]
 //!             <all|table1|table2|fig7|fig8|fig9|fig10|security|rollover|
 //!              switchcost|other-attacks|ftm|area|ablation|telemetry-demo|
-//!              bench-sweep|fault-sweep>
+//!              bench-sweep|fault-sweep|leakage-sweep>
 //! ```
 //!
 //! `--quick` shrinks the instruction budgets (useful for smoke-testing the
@@ -22,6 +22,10 @@
 //! nonzero if any TimeCache cell violates the security invariant, if the
 //! baseline rows fail to exhibit the expected leak, or if more than
 //! `--max-failures` cells (default 0) keep panicking past the retry budget.
+//! `leakage-sweep` runs the TVLA-style statistical leakage assessment over
+//! every attack primitive (checkpointed to `leakage_matrix.partial.jsonl`)
+//! and exits nonzero unless every channel's baseline arm leaks
+//! (|t| > 4.5) and its defended arm stays silent (|t| < 4.5).
 
 use timecache_bench::runner::RunParams;
 use timecache_bench::{exp, sweep, telemetry};
@@ -32,7 +36,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: experiments [--quick] [--telemetry] [--jobs N] [--max-failures N] \
          <all|table1|table2|fig7|fig8|fig9|fig10|security|rollover|switchcost|\
-         other-attacks|ftm|area|ablation|telemetry-demo|bench-sweep|fault-sweep>"
+         other-attacks|ftm|area|ablation|telemetry-demo|bench-sweep|fault-sweep|\
+         leakage-sweep>"
     );
     std::process::exit(2);
 }
@@ -136,6 +141,39 @@ fn fault_sweep_exit_code(
     code
 }
 
+/// Exit-code policy for `leakage-sweep`: every completed row must show the
+/// expected asymmetry (baseline leaks, defense silences), and no more
+/// cells than tolerated may fail outright.
+fn leakage_sweep_exit_code(
+    summary: &exp::leakage_sweep::LeakageSweepSummary,
+    max_failures: usize,
+) -> i32 {
+    let mut code = 0;
+    if summary.failures.len() > max_failures {
+        eprintln!(
+            "FAIL: {} worker failures exceed --max-failures {max_failures}",
+            summary.failures.len()
+        );
+        code = 1;
+    }
+    if summary.defended_leaks > 0 {
+        eprintln!(
+            "FAIL: {} channels still leak under their defense (|t| >= 4.5)",
+            summary.defended_leaks
+        );
+        code = 1;
+    }
+    if summary.baseline_silent > 0 {
+        eprintln!(
+            "FAIL: {} channels failed to leak at baseline (|t| <= 4.5), so the \
+             defended silence proves nothing",
+            summary.baseline_silent
+        );
+        code = 1;
+    }
+    code
+}
+
 fn announce_spec_sweep() {
     eprintln!(
         "running SPEC sweep ({} pairs, 2 modes, {} jobs)...",
@@ -205,6 +243,10 @@ fn main() {
         "fault-sweep" => {
             let summary = exp::fault_sweep::run(&params);
             exit_code = fault_sweep_exit_code(&summary, max_failures);
+        }
+        "leakage-sweep" => {
+            let summary = exp::leakage_sweep::run(&params);
+            exit_code = leakage_sweep_exit_code(&summary, max_failures);
         }
         "all" => {
             exp::table1::run();

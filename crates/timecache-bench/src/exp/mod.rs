@@ -10,6 +10,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod ftm;
+pub mod leakage_sweep;
 pub mod other_attacks;
 pub mod rollover;
 pub mod security;

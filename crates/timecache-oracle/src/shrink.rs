@@ -1,0 +1,100 @@
+//! Greedy delta-debugging shrinker for diverging traces.
+//!
+//! Given a trace on which some predicate holds (for the oracle: "the real
+//! simulator diverges from the reference model"), [`shrink`] removes
+//! contiguous chunks of events — halving the chunk size down to single
+//! events — keeping any removal that preserves the predicate, until no
+//! single event can be removed. Trace events are removal-safe by
+//! construction (see [`crate::trace`]), so every candidate is well-formed.
+
+use crate::trace::TraceDoc;
+
+/// Minimizes `doc` under `still_fails` (which must hold for `doc` itself).
+/// Returns the smallest trace found; `still_fails` holds for the result.
+pub fn shrink<F: Fn(&TraceDoc) -> bool>(doc: &TraceDoc, still_fails: F) -> TraceDoc {
+    let mut best = doc.clone();
+    debug_assert!(still_fails(&best), "shrink needs a failing input");
+    let mut chunk = (best.events.len() / 2).max(1);
+    loop {
+        let mut progressed = false;
+        let mut start = 0;
+        while start < best.events.len() {
+            let end = (start + chunk).min(best.events.len());
+            let mut candidate = best.clone();
+            candidate.events.drain(start..end);
+            if still_fails(&candidate) {
+                best = candidate;
+                progressed = true;
+                // Keep `start` in place: it now indexes fresh events.
+            } else {
+                start += chunk;
+            }
+        }
+        if chunk == 1 {
+            if !progressed {
+                return best;
+            }
+        } else {
+            chunk = (chunk / 2).max(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{Event, TraceConfig};
+    use timecache_sim::AccessKind;
+
+    fn doc_with(addrs: &[u64]) -> TraceDoc {
+        TraceDoc {
+            cfg: TraceConfig {
+                cores: 1,
+                smt: 1,
+                ts_bits: Some(8),
+                constant_time_clflush: false,
+                dram_wait: false,
+            },
+            events: addrs
+                .iter()
+                .map(|&a| Event::Access {
+                    core: 0,
+                    thread: 0,
+                    kind: AccessKind::Load,
+                    addr: a,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn shrinks_to_the_two_essential_events() {
+        // Predicate: the trace still contains both 0x111 and 0x999.
+        let addrs: Vec<u64> = (0..64)
+            .map(|i| match i {
+                13 => 0x111,
+                47 => 0x999,
+                _ => i,
+            })
+            .collect();
+        let doc = doc_with(&addrs);
+        let fails = |d: &TraceDoc| {
+            let has = |needle: u64| {
+                d.events
+                    .iter()
+                    .any(|e| matches!(e, Event::Access { addr, .. } if *addr == needle))
+            };
+            has(0x111) && has(0x999)
+        };
+        let small = shrink(&doc, fails);
+        assert_eq!(small.events.len(), 2);
+        assert!(fails(&small));
+    }
+
+    #[test]
+    fn single_event_predicate_shrinks_to_one() {
+        let doc = doc_with(&(0..33).collect::<Vec<_>>());
+        let small = shrink(&doc, |d| !d.events.is_empty());
+        assert_eq!(small.events.len(), 1);
+    }
+}

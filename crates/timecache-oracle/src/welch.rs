@@ -1,0 +1,73 @@
+//! Welch's t-test, the TVLA-style statistical leakage criterion.
+//!
+//! Two sample populations of attacker-observed latencies — one with the
+//! victim active, one idle — are compared with Welch's unequal-variance
+//! t-statistic. |t| above [`LEAKAGE_THRESHOLD`] means the populations are
+//! distinguishable: the channel leaks. The threshold 4.5 is the standard
+//! TVLA pass/fail line (around a 1e-5 false-positive rate for the sample
+//! sizes used here).
+//!
+//! The simulator is deterministic, so within one arm the samples are often
+//! *constant*; a literal sample variance of zero would make `t` undefined.
+//! A small variance floor keeps the statistic well-behaved: identical
+//! constant arms give `t = 0`, separated constant arms give a huge finite
+//! |t|.
+
+/// TVLA leakage threshold on |t|.
+pub const LEAKAGE_THRESHOLD: f64 = 4.5;
+
+/// Variance floor applied per-arm so deterministic (zero-variance) sample
+/// sets still yield a finite statistic.
+const VAR_FLOOR: f64 = 1e-2;
+
+fn mean_var(xs: &[f64]) -> (f64, f64) {
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0);
+    (mean, var.max(VAR_FLOOR))
+}
+
+/// Welch's t-statistic between two sample sets. Returns 0.0 when either
+/// set has fewer than two samples (no evidence either way).
+pub fn welch_t(a: &[f64], b: &[f64]) -> f64 {
+    if a.len() < 2 || b.len() < 2 {
+        return 0.0;
+    }
+    let (ma, va) = mean_var(a);
+    let (mb, vb) = mean_var(b);
+    (ma - mb) / (va / a.len() as f64 + vb / b.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_constant_arms_score_zero() {
+        let a = vec![200.0; 40];
+        assert_eq!(welch_t(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn separated_constant_arms_score_far_past_threshold() {
+        let hit = vec![2.0; 40];
+        let miss = vec![200.0; 40];
+        assert!(welch_t(&miss, &hit) > LEAKAGE_THRESHOLD * 10.0);
+        assert!(welch_t(&hit, &miss) < -LEAKAGE_THRESHOLD * 10.0);
+    }
+
+    #[test]
+    fn overlapping_noisy_arms_stay_below_threshold() {
+        // Same alternating pattern in both arms: means equal, t == 0.
+        let a: Vec<f64> = (0..40)
+            .map(|i| if i % 2 == 0 { 2.0 } else { 30.0 })
+            .collect();
+        let b = a.clone();
+        assert!(welch_t(&a, &b).abs() < LEAKAGE_THRESHOLD);
+    }
+
+    #[test]
+    fn tiny_samples_are_inconclusive() {
+        assert_eq!(welch_t(&[1.0], &[500.0]), 0.0);
+    }
+}

@@ -103,11 +103,16 @@ impl Trace {
         let mut ops = Vec::new();
         for (no, line) in text.lines().enumerate() {
             let line = line.trim();
-            if line.is_empty() || line.starts_with('#') {
+            if line.starts_with('#') {
                 continue;
             }
             let mut parts = line.split_whitespace();
-            let tag = parts.next().expect("nonempty line");
+            // A line with no tokens is blank: skip it. This replaces the
+            // old `expect("nonempty line")` panic path with control flow
+            // that cannot be wrong about whitespace handling.
+            let Some(tag) = parts.next() else {
+                continue;
+            };
             let mut hex = |name: &str| -> Result<u64, OsError> {
                 let tok = parts.next().ok_or_else(|| OsError::TraceParse {
                     line: no + 1,
@@ -144,6 +149,12 @@ impl Trace {
                     })
                 }
             };
+            if let Some(extra) = parts.next() {
+                return Err(OsError::TraceParse {
+                    line: no + 1,
+                    message: format!("trailing token {extra:?} after {tag} op"),
+                });
+            }
             ops.push(op);
         }
         Ok(Trace { ops })
@@ -285,6 +296,24 @@ mod tests {
             Trace::from_text("I 10\nL zz 10").unwrap_err().to_string(),
             "line 2: bad pc (invalid digit found in string)"
         );
+    }
+
+    #[test]
+    fn parser_rejects_trailing_tokens() {
+        let err = Trace::from_text("D one-field-too-many").unwrap_err();
+        assert!(matches!(err, crate::OsError::TraceParse { line: 1, .. }));
+        assert!(err.to_string().contains("trailing token"));
+        assert!(Trace::from_text("I 10 20").is_err());
+        assert!(Trace::from_text("L 10 20 30").is_err());
+    }
+
+    #[test]
+    fn parser_skips_whitespace_only_lines_without_panicking() {
+        // The old parser `expect`ed at least one token on any line that
+        // survived the blank/comment filter; whitespace-only lines must
+        // parse as blank, not panic or error.
+        let t = Trace::from_text("\t \nI 10\n   \nD\n").unwrap();
+        assert_eq!(t.len(), 2);
     }
 
     #[test]

@@ -1,0 +1,54 @@
+//! Replays every checked-in regression trace in `tests/corpus/` through the
+//! differential oracle on every `cargo test`. Any trace the random
+//! generator ever shrinks out of a real divergence belongs here, next to
+//! the hand-written edge cases (rollover at save, clflush between
+//! save/restore, fork+COW sharing, SMT-shared tag planes).
+
+use std::path::PathBuf;
+use timecache_oracle::{replay, TraceDoc};
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+#[test]
+fn corpus_traces_replay_without_divergence() {
+    let mut checked = 0;
+    let mut entries: Vec<_> = std::fs::read_dir(corpus_dir())
+        .expect("tests/corpus exists")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "txt"))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let text = std::fs::read_to_string(&path).expect("readable trace");
+        let doc =
+            TraceDoc::from_text(&text).unwrap_or_else(|e| panic!("{name}: malformed trace: {e}"));
+        if let Err(d) = replay(&doc, None) {
+            panic!("{name}: reference model and simulator diverged: {d}");
+        }
+        checked += 1;
+    }
+    assert!(checked >= 4, "corpus should hold the edge-case traces");
+}
+
+#[test]
+fn corpus_traces_are_canonically_formatted() {
+    for entry in std::fs::read_dir(corpus_dir()).expect("tests/corpus exists") {
+        let path = entry.expect("readable dir entry").path();
+        if path.extension().is_none_or(|e| e != "txt") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).expect("readable trace");
+        let doc = TraceDoc::from_text(&text).expect("valid trace");
+        // Comments aside, serialization must round-trip: the corpus format
+        // is the interchange format for shrunken divergences.
+        assert_eq!(
+            TraceDoc::from_text(&doc.to_text()).expect("round-trip"),
+            doc,
+            "{}",
+            path.display()
+        );
+    }
+}
