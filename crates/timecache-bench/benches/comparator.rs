@@ -19,9 +19,12 @@ fn main() {
             arr.write_word(i, (i as u64).wrapping_mul(2654435761));
         }
         let ts = WrappingTime::from_cycle(1_000_000, width);
+        // Pre-sync so the bench times the sweep itself, not the one-off
+        // lazy re-transposition of the fill loop above.
+        arr.sync_planes();
 
         b.bench(&format!("comparator/bit-serial/{lines}"), || {
-            black_box(BitSerialComparator::compare(&arr, ts))
+            black_box(BitSerialComparator::compare(&mut arr, ts))
         });
         b.bench(&format!("comparator/line-serial/{lines}"), || {
             let mut resets = 0u64;

@@ -121,6 +121,9 @@ where
     // and absorb the workers' snapshots after the scope ends.
     let caller_tel = crate::telemetry::current();
     let record = caller_tel.is_enabled();
+    // Workers inherit the caller's trace-event setting so a counter-only
+    // sweep stays counter-only (and its absorb stays cheap) in parallel.
+    let events_on = caller_tel.trace_events();
     let snapshots: Vec<Mutex<Option<TelemetrySnapshot>>> =
         (0..workers).map(|_| Mutex::new(None)).collect();
 
@@ -133,6 +136,7 @@ where
             scope.spawn(move || {
                 let tel = if record {
                     let tel = Telemetry::enabled();
+                    tel.set_trace_events(events_on);
                     crate::telemetry::set(&tel);
                     Some(tel)
                 } else {

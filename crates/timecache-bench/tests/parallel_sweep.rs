@@ -40,6 +40,37 @@ fn jobs_1_and_jobs_4_produce_identical_comparisons() {
 }
 
 #[test]
+fn wait_bound_jobs_overlap_regardless_of_host_cpus() {
+    // The engine's scalability contract, separated from the host's core
+    // count: jobs that *wait* (sleep) instead of compute overlap under the
+    // worker pool even on a single-CPU machine. Eight 20 ms jobs take
+    // ~160 ms serially; four workers should finish two rounds in ~40 ms.
+    // The 2.5x floor leaves headroom for scheduler jitter (the ideal is
+    // 4x) while still failing if workers ever serialize.
+    let job = |i: usize| {
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        i
+    };
+
+    let t0 = std::time::Instant::now();
+    let serial = sweep::run_with_jobs(8, 1, job);
+    let serial_s = t0.elapsed().as_secs_f64();
+
+    let t0 = std::time::Instant::now();
+    let parallel = sweep::run_with_jobs(8, 4, job);
+    let parallel_s = t0.elapsed().as_secs_f64();
+
+    assert_eq!(serial, (0..8).collect::<Vec<_>>());
+    assert_eq!(serial, parallel);
+    let speedup = serial_s / parallel_s;
+    assert!(
+        speedup >= 2.5,
+        "4-worker pool overlapped wait-bound jobs only {speedup:.2}x \
+         (serial {serial_s:.3}s, parallel {parallel_s:.3}s)"
+    );
+}
+
+#[test]
 fn parallel_sweep_telemetry_matches_serial_counters() {
     let _guard = JOBS_LOCK.lock().unwrap();
     let pairs = &mixes::all_pairs()[..2];

@@ -66,7 +66,7 @@ impl CompareOutcome {
 /// tc.write_word(1, 100);  // equal to Ts: keep
 /// tc.write_word(2, 150);  // newer than Ts: reset
 ///
-/// let out = BitSerialComparator::compare(&tc, WrappingTime::from_cycle(100, w));
+/// let out = BitSerialComparator::compare(&mut tc, WrappingTime::from_cycle(100, w));
 /// assert_eq!(out.reset_mask[0], 0b100);
 /// assert_eq!(out.cycles, 9); // 8 bit iterations + reset drive
 /// ```
@@ -83,15 +83,21 @@ impl BitSerialComparator {
     /// caller *before* invoking the comparator (see
     /// [`WrappingTime::rollover_since`]).
     ///
+    /// Takes the array mutably because it first flushes any pending
+    /// transpose-interface writes into the bit-plane view
+    /// ([`TransposeArray::sync_planes`]) — in hardware both interfaces
+    /// address the same cells, so the sweep always sees current data.
+    ///
     /// # Panics
     ///
     /// Panics if `ts` and `tc` have different timestamp widths.
-    pub fn compare(tc: &TransposeArray, ts: WrappingTime) -> CompareOutcome {
+    pub fn compare(tc: &mut TransposeArray, ts: WrappingTime) -> CompareOutcome {
         assert_eq!(
             tc.width(),
             ts.width(),
             "comparator requires matching timestamp widths"
         );
+        tc.sync_planes();
         let width = tc.width().bits();
         let words = tc.words_per_plane();
 
@@ -151,7 +157,7 @@ mod tests {
         for (i, &v) in values.iter().enumerate() {
             tc.write_word(i, v);
         }
-        let out = BitSerialComparator::compare(&tc, WrappingTime::from_cycle(ts, w));
+        let out = BitSerialComparator::compare(&mut tc, WrappingTime::from_cycle(ts, w));
         (0..values.len())
             .map(|i| out.reset_mask[i / 64] >> (i % 64) & 1 == 1)
             .collect()
@@ -193,19 +199,19 @@ mod tests {
         for i in 0..70 {
             tc.write_word(i, 200);
         }
-        let out = BitSerialComparator::compare(&tc, WrappingTime::from_cycle(10, w));
+        let out = BitSerialComparator::compare(&mut tc, WrappingTime::from_cycle(10, w));
         assert_eq!(out.reset_count(), 70);
     }
 
     #[test]
     fn cycles_scale_with_width_not_lines() {
         let w = TimestampWidth::new(32);
-        let small = TransposeArray::new(8, w);
-        let large = TransposeArray::new(100_000, w);
+        let mut small = TransposeArray::new(8, w);
+        let mut large = TransposeArray::new(100_000, w);
         let ts = WrappingTime::from_cycle(0, w);
         assert_eq!(
-            BitSerialComparator::compare(&small, ts).cycles,
-            BitSerialComparator::compare(&large, ts).cycles,
+            BitSerialComparator::compare(&mut small, ts).cycles,
+            BitSerialComparator::compare(&mut large, ts).cycles,
         );
         assert_eq!(BitSerialComparator::sweep_cycles(32), 33);
     }
@@ -213,9 +219,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "matching timestamp widths")]
     fn width_mismatch_rejected() {
-        let tc = TransposeArray::new(4, TimestampWidth::new(8));
+        let mut tc = TransposeArray::new(4, TimestampWidth::new(8));
         let ts = WrappingTime::from_cycle(0, TimestampWidth::new(16));
-        BitSerialComparator::compare(&tc, ts);
+        BitSerialComparator::compare(&mut tc, ts);
     }
 
     #[test]
@@ -225,8 +231,8 @@ mod tests {
         assert_eq!(run(&[0, 1], 0, 1), vec![false, true]);
         assert_eq!(run(&[0, 1], 1, 1), vec![false, false]);
         let w = TimestampWidth::new(1);
-        let tc = TransposeArray::new(2, w);
-        let out = BitSerialComparator::compare(&tc, WrappingTime::from_cycle(0, w));
+        let mut tc = TransposeArray::new(2, w);
+        let out = BitSerialComparator::compare(&mut tc, WrappingTime::from_cycle(0, w));
         assert_eq!(out.cycles, 2);
         assert_eq!(BitSerialComparator::sweep_cycles(1), 2);
     }

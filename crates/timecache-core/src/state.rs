@@ -415,7 +415,7 @@ impl TimeCacheState {
         }
 
         self.sharers.load(ctx, snap.sbits());
-        let outcome = BitSerialComparator::compare(&self.tc, snap.ts());
+        let outcome = BitSerialComparator::compare(&mut self.tc, snap.ts());
         if faults.fire(FaultKind::FlipComparator, TriggerPoint::Compare) {
             // Dual modular redundancy: the sweep runs twice and the masks
             // must agree. A glitched copy disagrees with the clean one, so

@@ -11,18 +11,29 @@
 //!   *same bit position of every line's timestamp simultaneously* (one
 //!   bit-plane per cycle), feeding the bit-serial comparator.
 //!
-//! [`TransposeArray`] models the array at that level: words are physically
-//! stored as bit-planes so the bit-plane read the comparator performs each
-//! cycle is a contiguous slice, exactly like enabling one word line of the
-//! transposed array.
+//! In hardware both interfaces address the same cells, so each is free. In
+//! software only one layout can be the fast one, and the two interfaces run
+//! at wildly different rates: fills happen on every cache miss, bit-plane
+//! sweeps only at context switches. [`TransposeArray`] therefore keeps the
+//! **word-major** array authoritative — [`TransposeArray::write_word`] is a
+//! single store — and maintains the bit-plane view lazily: writes mark
+//! their 64-line *group* dirty, and [`TransposeArray::sync_planes`]
+//! re-transposes only the dirty groups before a sweep. Streaming fills
+//! touch consecutive flat indices, so a whole group of fills costs one
+//! re-transposition instead of 64 scattered read-modify-writes per fill.
+//!
+//! [`crate::BitSerialComparator::compare`] calls `sync_planes` itself;
+//! direct [`TransposeArray::bit_plane`] readers must sync first (enforced
+//! by an assert).
 
 use crate::timestamp::TimestampWidth;
 use std::fmt;
 
 const WORD_BITS: usize = 64;
 
-/// An SRAM array of `num_words` timestamps, each `width` bits, stored
-/// transposed (as bit-planes).
+/// An SRAM array of `num_words` timestamps, each `width` bits, readable
+/// word-at-a-time (transpose interface) or bit-plane-at-a-time (regular
+/// interface).
 ///
 /// Bit-plane `b` holds bit `b` of every word, packed 64 lines per `u64`.
 ///
@@ -34,13 +45,25 @@ const WORD_BITS: usize = 64;
 /// let mut t = TransposeArray::new(128, TimestampWidth::new(8));
 /// t.write_word(3, 0xAB);
 /// assert_eq!(t.read_word(3), 0xAB);
+/// // Bit-plane reads see the write once the lazy view is synced.
+/// t.sync_planes();
 /// // Bit-plane 0 has bit 0 of word 3 set (0xAB & 1 == 1).
 /// assert_eq!(t.bit_plane(0)[0] >> 3 & 1, 1);
 /// ```
-#[derive(Clone, PartialEq, Eq)]
+#[derive(Clone)]
 pub struct TransposeArray {
+    /// Word-major authoritative storage: `words[i]` is line `i`'s
+    /// (truncated) timestamp. Every hot-path operation touches only this.
+    words: Vec<u64>,
     /// `planes[b]` = bit `b` of every word, `words_per_plane` u64s each.
+    /// Lazily rebuilt from `words` by [`TransposeArray::sync_planes`].
     planes: Vec<Vec<u64>>,
+    /// One bit per 64-line group (group `g` covers flat lines
+    /// `g*64..(g+1)*64`), set when the group's words changed since the
+    /// planes were last rebuilt.
+    dirty: Vec<u64>,
+    /// Whether any group is dirty (cheap staleness check).
+    stale: bool,
     num_words: usize,
     width: TimestampWidth,
     words_per_plane: usize,
@@ -56,7 +79,10 @@ impl TransposeArray {
         assert!(num_words > 0, "transpose array must hold at least one word");
         let words_per_plane = num_words.div_ceil(WORD_BITS);
         TransposeArray {
+            words: vec![0; num_words],
             planes: vec![vec![0; words_per_plane]; width.bits() as usize],
+            dirty: vec![0; words_per_plane.div_ceil(WORD_BITS)],
+            stale: false,
             num_words,
             width,
             words_per_plane,
@@ -75,22 +101,19 @@ impl TransposeArray {
 
     /// Writes one line's timestamp through the transpose interface,
     /// truncating `value` to the array width (the hardware counter simply
-    /// has no more wires than that).
+    /// has no more wires than that). A single store plus a dirty-group mark;
+    /// the bit-plane view catches up in [`TransposeArray::sync_planes`].
     ///
     /// # Panics
     ///
     /// Panics if `index >= num_words()`.
+    #[inline]
     pub fn write_word(&mut self, index: usize, value: u64) {
         self.bounds(index);
-        let value = self.width.truncate(value);
-        let (w, b) = (index / WORD_BITS, index % WORD_BITS);
-        for (bit, plane) in self.planes.iter_mut().enumerate() {
-            if value >> bit & 1 == 1 {
-                plane[w] |= 1 << b;
-            } else {
-                plane[w] &= !(1 << b);
-            }
-        }
+        self.words[index] = self.width.truncate(value);
+        let group = index / WORD_BITS;
+        self.dirty[group / WORD_BITS] |= 1 << (group % WORD_BITS);
+        self.stale = true;
     }
 
     /// Reads one line's timestamp through the transpose interface.
@@ -98,13 +121,45 @@ impl TransposeArray {
     /// # Panics
     ///
     /// Panics if `index >= num_words()`.
+    #[inline]
     pub fn read_word(&self, index: usize) -> u64 {
         self.bounds(index);
-        let (w, b) = (index / WORD_BITS, index % WORD_BITS);
-        self.planes
-            .iter()
-            .enumerate()
-            .fold(0, |acc, (bit, plane)| acc | (plane[w] >> b & 1) << bit)
+        self.words[index]
+    }
+
+    /// Brings the bit-plane view up to date with the word-major array by
+    /// re-transposing every dirty 64-line group. Amortized cost: one group
+    /// transposition per 64 (clustered) fills, paid only when a comparator
+    /// sweep is about to run — never on the access hot path.
+    pub fn sync_planes(&mut self) {
+        if !self.stale {
+            return;
+        }
+        for dw in 0..self.dirty.len() {
+            let mut mask = self.dirty[dw];
+            self.dirty[dw] = 0;
+            while mask != 0 {
+                let group = dw * WORD_BITS + mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                self.rebuild_group(group);
+            }
+        }
+        self.stale = false;
+    }
+
+    /// Re-transposes one 64-line group of `words` into column `group` of
+    /// every plane.
+    fn rebuild_group(&mut self, group: usize) {
+        let base = group * WORD_BITS;
+        let end = (base + WORD_BITS).min(self.num_words);
+        let words = &self.words[base..end];
+        for (bit, plane) in self.planes.iter_mut().enumerate() {
+            let mut acc = 0u64;
+            for (lane, &w) in words.iter().enumerate() {
+                acc |= (w >> bit & 1) << lane;
+            }
+            plane[group] = acc;
+        }
     }
 
     /// Reads one bit-plane through the regular bit-line interface: bit
@@ -115,8 +170,14 @@ impl TransposeArray {
     ///
     /// # Panics
     ///
-    /// Panics if `bit >= width().bits()`.
+    /// Panics if `bit >= width().bits()`, or if writes are pending —
+    /// call [`TransposeArray::sync_planes`] before reading planes
+    /// ([`crate::BitSerialComparator::compare`] does this itself).
     pub fn bit_plane(&self, bit: u8) -> &[u64] {
+        assert!(
+            !self.stale,
+            "bit-plane read with unsynced writes: call sync_planes() first"
+        );
         assert!(
             bit < self.width.bits(),
             "bit plane {bit} out of range for {} timestamps",
@@ -130,6 +191,7 @@ impl TransposeArray {
         self.words_per_plane
     }
 
+    #[inline]
     fn bounds(&self, index: usize) {
         assert!(
             index < self.num_words,
@@ -138,6 +200,16 @@ impl TransposeArray {
         );
     }
 }
+
+/// Equality is over the authoritative word-major contents; the lazy plane
+/// view and dirty bookkeeping are representation details.
+impl PartialEq for TransposeArray {
+    fn eq(&self, other: &Self) -> bool {
+        self.num_words == other.num_words && self.width == other.width && self.words == other.words
+    }
+}
+
+impl Eq for TransposeArray {}
 
 impl fmt::Debug for TransposeArray {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -180,6 +252,9 @@ mod tests {
         t.write_word(1, 0xFF);
         t.write_word(1, 0x01);
         assert_eq!(t.read_word(1), 0x01);
+        t.sync_planes();
+        assert_eq!(t.bit_plane(0)[0] >> 1 & 1, 1);
+        assert_eq!(t.bit_plane(1)[0] >> 1 & 1, 0);
     }
 
     #[test]
@@ -187,12 +262,59 @@ mod tests {
         let mut t = TransposeArray::new(70, TimestampWidth::new(4));
         t.write_word(0, 0b1010);
         t.write_word(69, 0b0101);
+        t.sync_planes();
         // Plane 1 (value bit 1) must have line 0 set, line 69 clear.
         assert_eq!(t.bit_plane(1)[0] & 1, 1);
         assert_eq!(t.bit_plane(1)[1] >> (69 - 64) & 1, 0);
         // Plane 2 the other way round.
         assert_eq!(t.bit_plane(2)[0] & 1, 0);
         assert_eq!(t.bit_plane(2)[1] >> (69 - 64) & 1, 1);
+    }
+
+    #[test]
+    fn sync_rebuilds_only_dirty_groups_but_exactly() {
+        // Scatter writes across 3 of 4 groups; after sync every plane word
+        // must match a from-scratch transposition.
+        let w = TimestampWidth::new(8);
+        let mut t = TransposeArray::new(250, w);
+        for i in [0usize, 63, 64, 200, 249] {
+            t.write_word(i, (i as u64).wrapping_mul(0x9E37) & w.mask());
+        }
+        t.sync_planes();
+        for bit in 0..8u8 {
+            for i in 0..250 {
+                let expect = t.read_word(i) >> bit & 1;
+                let got = t.bit_plane(bit)[i / 64] >> (i % 64) & 1;
+                assert_eq!(got, expect, "bit {bit} line {i}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unsynced writes")]
+    fn stale_plane_read_rejected() {
+        let mut t = TransposeArray::new(10, TimestampWidth::new(8));
+        t.write_word(0, 1);
+        t.bit_plane(0);
+    }
+
+    #[test]
+    fn fresh_array_planes_are_clean() {
+        // A never-written array is all-zero in both views: no sync needed.
+        let t = TransposeArray::new(10, TimestampWidth::new(8));
+        assert_eq!(t.bit_plane(0), &[0]);
+    }
+
+    #[test]
+    fn equality_ignores_plane_staleness() {
+        let mut a = TransposeArray::new(10, TimestampWidth::new(8));
+        let mut b = TransposeArray::new(10, TimestampWidth::new(8));
+        a.write_word(3, 42);
+        b.write_word(3, 42);
+        a.sync_planes(); // a synced, b stale: still equal
+        assert_eq!(a, b);
+        b.write_word(4, 1);
+        assert_ne!(a, b);
     }
 
     #[test]

@@ -55,7 +55,7 @@ fn comparator_matches_functional_compare() {
         }
         let ts_raw = rng.next_u64();
         let ts = WrappingTime::from_cycle(ts_raw, w);
-        let out = BitSerialComparator::compare(&arr, ts);
+        let out = BitSerialComparator::compare(&mut arr, ts);
         for (i, &v) in tcs.iter().enumerate() {
             let expected = w.truncate(v) > ts.value();
             let got = out.reset_mask[i / 64] >> (i % 64) & 1 == 1;
@@ -77,7 +77,7 @@ fn comparator_mask_has_no_phantom_bits() {
         for i in 0..len {
             arr.write_word(i, u64::MAX); // everything maximally new
         }
-        let out = BitSerialComparator::compare(&arr, WrappingTime::from_cycle(ts_raw, w));
+        let out = BitSerialComparator::compare(&mut arr, WrappingTime::from_cycle(ts_raw, w));
         let expected = if w.truncate(u64::MAX) > w.truncate(ts_raw) {
             len
         } else {

@@ -6,6 +6,12 @@
 //! a hit, where requests go next) live in [`crate::Hierarchy`]; the cache
 //! provides the mechanical operations: lookup, fill, invalidate, and the
 //! TimeCache visibility hooks.
+//!
+//! The tag array is structure-of-arrays: tags live in one contiguous
+//! `Vec<u64>` (so the way-scan in [`Cache::lookup`] is a branch-light
+//! compare over a contiguous slab) and dirty bits in a packed bitset,
+//! instead of an array-of-structs `Vec<Line>` whose per-entry flag padded
+//! every tag to 16 bytes and halved scan density.
 
 use crate::addr::LineAddr;
 use crate::config::CacheConfig;
@@ -20,31 +26,6 @@ use timecache_core::{Snapshot, TimeCacheConfig, TimeCacheState, Visibility};
 /// addresses shifted right by the (nonzero) line-size bits, so their top
 /// bits are always clear.
 const INVALID_TAG: u64 = u64::MAX;
-
-/// One tag-array entry.
-#[derive(Debug, Clone, Copy)]
-struct Line {
-    /// The full line address (serves as the tag; the set is implied), or
-    /// [`INVALID_TAG`] when the way is empty.
-    addr: u64,
-    dirty: bool,
-}
-
-impl Default for Line {
-    fn default() -> Self {
-        Line {
-            addr: INVALID_TAG,
-            dirty: false,
-        }
-    }
-}
-
-impl Line {
-    #[inline]
-    fn valid(&self) -> bool {
-        self.addr != INVALID_TAG
-    }
-}
 
 /// Result of a tag lookup.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -72,7 +53,11 @@ pub struct Cache {
     name: &'static str,
     geometry: CacheGeometry,
     index: crate::index::IndexFn,
-    lines: Vec<Line>,
+    /// Tag per flat line index (`set * ways + way`); [`INVALID_TAG`] marks
+    /// an empty way. Contiguous so a set's ways are one cache-friendly slab.
+    tags: Vec<u64>,
+    /// Dirty flags, packed 64 lines per word, indexed by flat line index.
+    dirty: Vec<u64>,
     replacement: ReplacementState,
     timecache: Option<TimeCacheState>,
     stats: CacheStats,
@@ -102,7 +87,8 @@ impl Cache {
             name,
             geometry: g,
             index: config.index,
-            lines: vec![Line::default(); g.num_lines()],
+            tags: vec![INVALID_TAG; g.num_lines()],
+            dirty: vec![0; g.num_lines().div_ceil(64)],
             replacement: ReplacementState::build(config.replacement, g.num_sets(), g.ways()),
             timecache: timecache.map(|tc| TimeCacheState::new(g.num_lines(), num_contexts, tc)),
             stats: CacheStats::new(),
@@ -138,27 +124,40 @@ impl Cache {
         self.stats = CacheStats::new();
     }
 
+    #[inline]
+    fn dirty_bit(&self, flat: usize) -> bool {
+        self.dirty[flat / 64] >> (flat % 64) & 1 == 1
+    }
+
+    #[inline]
+    fn set_dirty_bit(&mut self, flat: usize, dirty: bool) {
+        let (word, bit) = (flat / 64, flat % 64);
+        if dirty {
+            self.dirty[word] |= 1 << bit;
+        } else {
+            self.dirty[word] &= !(1 << bit);
+        }
+    }
+
     /// Tag lookup without side effects.
     ///
     /// This is the innermost loop of the whole simulator (three calls per
     /// simulated memory access in the worst case), so the scan is kept
     /// branch-lean: one tag compare per way against the set's contiguous
-    /// slab, with validity folded into the tag via [`INVALID_TAG`].
+    /// tag slab, with validity folded into the tag via [`INVALID_TAG`].
     #[inline]
     pub fn lookup(&self, line: LineAddr) -> Option<LookupResult> {
         let set = self.index.set_of(line, self.num_sets);
         let base = set as usize * self.ways;
         let raw = line.raw();
-        for (way, l) in self.lines[base..base + self.ways].iter().enumerate() {
-            if l.addr == raw {
-                return Some(LookupResult {
-                    set,
-                    way: way as u32,
-                    flat: base + way,
-                });
-            }
-        }
-        None
+        self.tags[base..base + self.ways]
+            .iter()
+            .position(|&t| t == raw)
+            .map(|way| LookupResult {
+                set,
+                way: way as u32,
+                flat: base + way,
+            })
     }
 
     /// Records a demand hit for replacement purposes.
@@ -167,7 +166,10 @@ impl Cache {
     }
 
     /// Fills `line` for hardware context `ctx` at cycle `now`, evicting a
-    /// victim if the set is full. Returns the displaced line, if any.
+    /// victim if the set is full. Returns the slot the line landed in and
+    /// the displaced line, if any — callers needing the filled position
+    /// (e.g. for directory bookkeeping) get it for free instead of paying a
+    /// second lookup.
     ///
     /// The victim's TimeCache s-bits are reset and the new line's `Tc` and
     /// filling-context s-bit are recorded. The eviction (and, if the victim
@@ -178,7 +180,12 @@ impl Cache {
     ///
     /// Panics (in debug builds) if the line is already present — the
     /// hierarchy must not double-fill.
-    pub fn fill(&mut self, line: LineAddr, ctx: usize, now: u64) -> Option<Evicted> {
+    pub fn fill(
+        &mut self,
+        line: LineAddr,
+        ctx: usize,
+        now: u64,
+    ) -> (LookupResult, Option<Evicted>) {
         debug_assert!(
             self.lookup(line).is_none(),
             "{}: double fill of {line}",
@@ -188,39 +195,41 @@ impl Cache {
         let base = set as usize * self.ways;
 
         // Prefer an invalid way; otherwise ask the replacement policy.
-        let way = (0..self.ways as u32)
-            .find(|&w| !self.lines[base + w as usize].valid())
+        let way = self.tags[base..base + self.ways]
+            .iter()
+            .position(|&t| t == INVALID_TAG)
+            .map(|w| w as u32)
             .unwrap_or_else(|| self.replacement.victim(set));
         let flat = base + way as usize;
 
-        let evicted = self.lines[flat].valid().then(|| {
+        let old = self.tags[flat];
+        let evicted = (old != INVALID_TAG).then(|| {
             self.stats.evictions += 1;
             Evicted {
-                line: LineAddr::from_raw(self.lines[flat].addr),
-                dirty: self.lines[flat].dirty,
+                line: LineAddr::from_raw(old),
+                dirty: self.dirty_bit(flat),
             }
         });
         if let (Some(tc), Some(_)) = (&mut self.timecache, &evicted) {
             tc.on_evict(flat);
         }
 
-        self.lines[flat] = Line {
-            addr: line.raw(),
-            dirty: false,
-        };
+        self.tags[flat] = line.raw();
+        self.set_dirty_bit(flat, false);
         self.replacement.on_fill(set, way);
         if let Some(tc) = &mut self.timecache {
             tc.on_fill(flat, ctx, now);
         }
-        evicted
+        (LookupResult { set, way, flat }, evicted)
     }
 
     /// Invalidates `line` if present (coherence, back-invalidation, or
     /// `clflush`). Returns whether it was present and dirty.
     pub fn invalidate(&mut self, line: LineAddr) -> Option<bool> {
         let hit = self.lookup(line)?;
-        let dirty = self.lines[hit.flat].dirty;
-        self.lines[hit.flat] = Line::default();
+        let dirty = self.dirty_bit(hit.flat);
+        self.tags[hit.flat] = INVALID_TAG;
+        self.set_dirty_bit(hit.flat, false);
         self.stats.invalidations += 1;
         if let Some(tc) = &mut self.timecache {
             tc.on_evict(hit.flat);
@@ -230,13 +239,13 @@ impl Cache {
 
     /// Marks a resident line dirty (write hit) or clean (write-back done).
     pub fn set_dirty(&mut self, at: LookupResult, dirty: bool) {
-        debug_assert!(self.lines[at.flat].valid());
-        self.lines[at.flat].dirty = dirty;
+        debug_assert!(self.tags[at.flat] != INVALID_TAG);
+        self.set_dirty_bit(at.flat, dirty);
     }
 
     /// Whether a resident line is dirty.
     pub fn is_dirty(&self, at: LookupResult) -> bool {
-        self.lines[at.flat].dirty
+        self.dirty_bit(at.flat)
     }
 
     /// TimeCache visibility of a resident line for `ctx`; `Visible` always
@@ -296,7 +305,7 @@ impl Cache {
 
     /// Number of valid lines currently resident (diagnostics/tests).
     pub fn resident_lines(&self) -> usize {
-        self.lines.iter().filter(|l| l.valid()).count()
+        self.tags.iter().filter(|&&t| t != INVALID_TAG).count()
     }
 }
 
@@ -318,8 +327,10 @@ mod tests {
     fn fill_then_lookup() {
         let mut c = tiny();
         assert!(c.lookup(la(0x100)).is_none());
-        assert_eq!(c.fill(la(0x100), 0, 0), None);
+        let (slot, evicted) = c.fill(la(0x100), 0, 0);
+        assert_eq!(evicted, None);
         let hit = c.lookup(la(0x100)).unwrap();
+        assert_eq!(hit, slot);
         assert_eq!(hit.set, (0x100 / 64) % 4);
     }
 
@@ -330,7 +341,7 @@ mod tests {
         c.fill(la(0x000), 0, 0);
         c.fill(la(0x100), 0, 1);
         c.touch(c.lookup(la(0x000)).unwrap()); // 0x000 most recent
-        let ev = c.fill(la(0x200), 0, 2).unwrap();
+        let ev = c.fill(la(0x200), 0, 2).1.unwrap();
         assert_eq!(ev.line, la(0x100));
         assert!(!ev.dirty);
         assert!(c.lookup(la(0x100)).is_none());
@@ -345,8 +356,20 @@ mod tests {
         let at = c.lookup(la(0x000)).unwrap();
         c.set_dirty(at, true);
         c.fill(la(0x100), 0, 1);
-        let ev = c.fill(la(0x200), 0, 2).unwrap();
+        let ev = c.fill(la(0x200), 0, 2).1.unwrap();
         assert!(ev.dirty);
+    }
+
+    #[test]
+    fn fill_reports_landing_slot() {
+        let mut c = tiny();
+        let (slot, _) = c.fill(la(0x000), 0, 0);
+        assert_eq!(slot, c.lookup(la(0x000)).unwrap());
+        // A conflicting fill lands in the same set, different way.
+        let (slot2, _) = c.fill(la(0x100), 0, 1);
+        assert_eq!(slot2.set, slot.set);
+        assert_ne!(slot2.way, slot.way);
+        assert_eq!(slot2, c.lookup(la(0x100)).unwrap());
     }
 
     #[test]
@@ -358,6 +381,18 @@ mod tests {
         assert_eq!(c.invalidate(la(0x40)), Some(true));
         assert_eq!(c.invalidate(la(0x40)), None);
         assert_eq!(c.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn refill_after_dirty_invalidate_is_clean() {
+        // The packed dirty bit must be cleared on invalidate and fill, not
+        // leak into the next occupant of the same way.
+        let mut c = tiny();
+        c.fill(la(0x40), 0, 0);
+        c.set_dirty(c.lookup(la(0x40)).unwrap(), true);
+        c.invalidate(la(0x40));
+        c.fill(la(0x40), 0, 1);
+        assert!(!c.is_dirty(c.lookup(la(0x40)).unwrap()));
     }
 
     #[test]

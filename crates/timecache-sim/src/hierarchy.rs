@@ -87,6 +87,19 @@ impl AccessOutcome {
     }
 }
 
+/// How [`Hierarchy::access_batch`] advances the cycle clock between
+/// consecutive accesses of a batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchClock {
+    /// Fixed stride: issue cycles are `start, start + s, start + 2s, ...`
+    /// regardless of observed latencies (back-to-back pipelined replay).
+    Stride(u64),
+    /// Serialized replay: each access issues `latency + k` cycles after the
+    /// previous one — the dependent-chain model the oracle driver and trace
+    /// replay use.
+    LatencyPlus(u64),
+}
+
 /// Cost of restoring a process's caching context at a context switch.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SwitchCost {
@@ -196,7 +209,9 @@ struct SimSensors {
 
 impl SimSensors {
     /// Creates the sensor block, or `None` when telemetry is disabled.
-    fn create(tel: &Telemetry) -> Option<Box<SimSensors>> {
+    /// Takes the handle by value: the one clone lives here for the sensor
+    /// block's lifetime; the access hot path never touches the `Rc` again.
+    fn create(tel: Telemetry) -> Option<Box<SimSensors>> {
         let reg = tel.registry()?;
         const CACHES: [&str; 3] = ["l1i", "l1d", "llc"];
         const OUTCOMES: [&str; 3] = ["hit", "first_access", "miss"];
@@ -234,37 +249,43 @@ impl SimSensors {
                 )
             })
         });
+        let restores = reg.counter(
+            "sim_switch_restores_total",
+            "Context restores performed by the hierarchy.",
+            &[],
+        );
+        let comparator_cycles = reg.counter(
+            "sim_switch_comparator_cycles_total",
+            "Bit-serial comparator cycles accumulated across restores.",
+            &[],
+        );
+        let transfer_lines = reg.counter(
+            "sim_switch_transfer_lines_total",
+            "64-byte s-bit snapshot transfers accumulated across restores.",
+            &[],
+        );
+        let sbits_reset = reg.counter(
+            "sim_switch_sbits_reset_total",
+            "s-bits reset by comparator sweeps across restores.",
+            &[],
+        );
+        let rollovers = reg.counter(
+            "sim_switch_rollovers_total",
+            "Restores that detected timestamp rollover.",
+            &[],
+        );
+        let clflushes = reg.counter("sim_clflush_total", "clflush instructions executed.", &[]);
         Some(Box::new(SimSensors {
-            tel: tel.clone(),
+            tel,
             outcome,
             latency,
             events,
-            restores: reg.counter(
-                "sim_switch_restores_total",
-                "Context restores performed by the hierarchy.",
-                &[],
-            ),
-            comparator_cycles: reg.counter(
-                "sim_switch_comparator_cycles_total",
-                "Bit-serial comparator cycles accumulated across restores.",
-                &[],
-            ),
-            transfer_lines: reg.counter(
-                "sim_switch_transfer_lines_total",
-                "64-byte s-bit snapshot transfers accumulated across restores.",
-                &[],
-            ),
-            sbits_reset: reg.counter(
-                "sim_switch_sbits_reset_total",
-                "s-bits reset by comparator sweeps across restores.",
-                &[],
-            ),
-            rollovers: reg.counter(
-                "sim_switch_rollovers_total",
-                "Restores that detected timestamp rollover.",
-                &[],
-            ),
-            clflushes: reg.counter("sim_clflush_total", "clflush instructions executed.", &[]),
+            restores,
+            comparator_cycles,
+            transfer_lines,
+            sbits_reset,
+            rollovers,
+            clflushes,
         }))
     }
 }
@@ -359,9 +380,11 @@ impl Hierarchy {
     /// through it. Attaching a disabled handle detaches instrumentation.
     ///
     /// All metric handles are resolved here, once — after this call the
-    /// access hot path performs no allocation or registry lookups.
+    /// access hot path performs no allocation, registry lookups, or `Rc`
+    /// reference-count traffic (the handle is cloned exactly once, into the
+    /// sensor block).
     pub fn attach_telemetry(&mut self, tel: &Telemetry) {
-        self.sensors = SimSensors::create(tel);
+        self.sensors = SimSensors::create(tel.clone());
     }
 
     /// Attaches a [`FaultInjector`] whose plan targets the context-switch
@@ -433,6 +456,55 @@ impl Hierarchy {
         out
     }
 
+    /// Performs a run of accesses by one hardware context, advancing the
+    /// cycle clock per `clock` between them. Returns the outcomes in order
+    /// and the clock value after the last access.
+    ///
+    /// Semantically identical to calling [`Hierarchy::access`] in a loop
+    /// with the same clock arithmetic — statistics and telemetry counters
+    /// stay exact — but the per-access overhead is hoisted: the context
+    /// check runs once, and when [`Telemetry::trace_events`] is off the
+    /// per-access `set_now` announcement (whose only consumer is event
+    /// timestamps) is skipped along with event emission.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` or `thread` is out of range.
+    pub fn access_batch(
+        &mut self,
+        core: usize,
+        thread: usize,
+        accesses: &[(AccessKind, Addr)],
+        start: u64,
+        clock: BatchClock,
+    ) -> (Vec<AccessOutcome>, u64) {
+        self.check_context(core, thread);
+        let (instrumented, events_on) = match &self.sensors {
+            Some(s) => (true, s.tel.trace_events()),
+            None => (false, false),
+        };
+        let mut outcomes = Vec::with_capacity(accesses.len());
+        let mut now = start;
+        for &(kind, addr) in accesses {
+            let line = LineAddr::from_raw(addr >> self.line_shift);
+            if events_on {
+                if let Some(s) = &self.sensors {
+                    s.tel.set_now(now);
+                }
+            }
+            let out = self.access_inner(core, thread, kind, line, now);
+            if instrumented {
+                self.note_access(core, thread, kind, line, &out);
+            }
+            now += match clock {
+                BatchClock::Stride(s) => s,
+                BatchClock::LatencyPlus(k) => out.latency + k,
+            };
+            outcomes.push(out);
+        }
+        (outcomes, now)
+    }
+
     /// The uninstrumented access path; every hit/miss/first-access
     /// classification a telemetry counter needs is reconstructible from the
     /// returned [`AccessOutcome`], which keeps counter derivation at a
@@ -488,7 +560,9 @@ impl Hierarchy {
         self.llc.stats_mut().accesses += 1;
         let llc_ctx = self.llc_ctx(core, thread);
 
-        let (latency, served_by, fa_llc) = if let Some(hit) = self.llc.lookup(line) {
+        // Every arm resolves the LLC slot the line occupies, so the L1 fill
+        // below gets its directory index for free (no re-lookup).
+        let (latency, served_by, fa_llc, llc_flat) = if let Some(hit) = self.llc.lookup(line) {
             let visible = self.llc.visibility(hit, llc_ctx) == Visibility::Visible;
             self.llc.touch(hit);
             if visible {
@@ -500,9 +574,9 @@ impl Hierarchy {
                     .filter(|&owner| owner != core);
                 if let Some(owner) = remote_dirty {
                     self.writeback_owner_copy(owner, line);
-                    (lat.remote_l1, Level::RemoteL1, false)
+                    (lat.remote_l1, Level::RemoteL1, false, hit.flat)
                 } else {
-                    (lat.llc_hit, Level::LLC, false)
+                    (lat.llc_hit, Level::LLC, false, hit.flat)
                 }
             } else {
                 // First access at the LLC: the request continues to memory,
@@ -519,17 +593,17 @@ impl Hierarchy {
                 {
                     self.writeback_owner_copy(owner, line);
                 }
-                (lat.dram, Level::Memory, true)
+                (lat.dram, Level::Memory, true, hit.flat)
             }
         } else {
             // True LLC miss: fetch from memory and fill the LLC.
             self.llc.stats_mut().misses += 1;
-            self.fill_llc(line, llc_ctx, now);
-            (lat.dram, Level::Memory, false)
+            let flat = self.fill_llc(line, llc_ctx, now);
+            (lat.dram, Level::Memory, false, flat)
         };
 
         // Fill the L1 from the (now current) LLC copy.
-        self.fill_l1(core, thread, kind, line, now);
+        self.fill_l1(core, thread, kind, line, now, llc_flat);
         if kind.is_write() {
             self.write_hit(core, kind, line);
         }
@@ -638,28 +712,31 @@ impl Hierarchy {
         if self.cfg.security.is_ftm() {
             return cost;
         }
-        // Cloned up front: the parts array mutably borrows self's caches.
-        let faults = self.faults.clone();
         let llc_ctx = self.llc_ctx(core, thread);
+        // Destructure so the caches and the injector are disjoint borrows —
+        // no per-restore clone of the injector's shared plan.
+        let Hierarchy {
+            l1i,
+            l1d,
+            llc,
+            faults,
+            ..
+        } = self;
         let parts: [(&mut Cache, usize, Option<&Snapshot>); 3] = [
             (
-                &mut self.l1i[core],
+                &mut l1i[core],
                 thread,
                 snapshot.and_then(|s| s.l1i.as_ref()),
             ),
             (
-                &mut self.l1d[core],
+                &mut l1d[core],
                 thread,
                 snapshot.and_then(|s| s.l1d.as_ref()),
             ),
-            (
-                &mut self.llc,
-                llc_ctx,
-                snapshot.and_then(|s| s.llc.as_ref()),
-            ),
+            (llc, llc_ctx, snapshot.and_then(|s| s.llc.as_ref())),
         ];
         for (cache, ctx, snap) in parts {
-            if let Some(out) = cache.restore_context_faulty(ctx, snap, now, &faults) {
+            if let Some(out) = cache.restore_context_faulty(ctx, snap, now, faults) {
                 cost.comparator_cycles = cost.comparator_cycles.max(out.comparator_cycles);
                 cost.transfer_lines += out.transfer_lines as u64;
                 cost.rollover |= out.rollover;
@@ -854,17 +931,16 @@ impl Hierarchy {
     }
 
     /// Fills the LLC with `line`, handling inclusive back-invalidation of
-    /// the victim and directory setup.
-    fn fill_llc(&mut self, line: LineAddr, llc_ctx: usize, now: u64) {
-        if let Some(victim) = self.llc.fill(line, llc_ctx, now) {
+    /// the victim and directory setup. Returns the flat slot index the line
+    /// landed in (the caller's directory key).
+    fn fill_llc(&mut self, line: LineAddr, llc_ctx: usize, now: u64) -> usize {
+        let (slot, victim) = self.llc.fill(line, llc_ctx, now);
+        if let Some(victim) = victim {
             self.note_eviction(CacheKind::Llc, victim.line, victim.dirty);
             // Inclusive LLC: evicting a line removes it from all L1s.
-            let victim_entry = {
-                let hit = self.llc.lookup(line).expect("line just filled");
-                // The victim occupied the same flat slot the new line now
-                // uses; its directory entry is at that index.
-                std::mem::take(&mut self.dir[hit.flat])
-            };
+            // The victim occupied the same flat slot the new line now uses;
+            // its directory entry is at that index.
+            let victim_entry = std::mem::take(&mut self.dir[slot.flat]);
             for core in 0..self.cfg.cores {
                 if victim_entry.sharers >> core & 1 == 1 {
                     if let Some(dirty) = self.l1i[core].invalidate(victim.line) {
@@ -888,15 +964,29 @@ impl Hierarchy {
         } else {
             // Even without a victim the slot's directory entry may be stale
             // (from an invalidated line): reset it.
-            let hit = self.llc.lookup(line).expect("line just filled");
-            self.dir[hit.flat] = DirEntry::default();
+            self.dir[slot.flat] = DirEntry::default();
         }
+        slot.flat
     }
 
-    /// Fills a private L1 with `line` (which must be LLC-resident),
-    /// updating the directory and handling the victim write-back.
-    fn fill_l1(&mut self, core: usize, thread: usize, kind: AccessKind, line: LineAddr, now: u64) {
-        let victim = self.l1_mut(core, kind).fill(line, thread, now);
+    /// Fills a private L1 with `line`, updating the directory and handling
+    /// the victim write-back. `llc_flat` is the LLC slot `line` occupies
+    /// (guaranteed by inclusivity; the caller just resolved it).
+    fn fill_l1(
+        &mut self,
+        core: usize,
+        thread: usize,
+        kind: AccessKind,
+        line: LineAddr,
+        now: u64,
+        llc_flat: usize,
+    ) {
+        debug_assert_eq!(
+            self.llc.lookup(line).map(|h| h.flat),
+            Some(llc_flat),
+            "inclusive LLC lost an L1-resident line"
+        );
+        let (_, victim) = self.l1_mut(core, kind).fill(line, thread, now);
         if let Some(v) = victim {
             self.note_eviction(CacheKind::of(kind), v.line, v.dirty);
             if v.dirty {
@@ -912,9 +1002,7 @@ impl Hierarchy {
             }
             self.dir_remove_sharer_if_gone(core, v.line);
         }
-        if let Some(hit) = self.llc.lookup(line) {
-            self.dir[hit.flat].sharers |= 1 << core;
-        }
+        self.dir[llc_flat].sharers |= 1 << core;
     }
 
     /// A store hit: mark the L1D copy dirty and invalidate remote copies.

@@ -57,7 +57,9 @@ pub use addr::{Addr, LineAddr};
 pub use cache::{Cache, LookupResult};
 pub use config::{CacheConfig, ConfigError, HierarchyConfig, SecurityMode};
 pub use geometry::CacheGeometry;
-pub use hierarchy::{AccessKind, AccessOutcome, ContextSnapshot, Hierarchy, Level, SwitchCost};
+pub use hierarchy::{
+    AccessKind, AccessOutcome, BatchClock, ContextSnapshot, Hierarchy, Level, SwitchCost,
+};
 pub use index::IndexFn;
 pub use latency::LatencyConfig;
 pub use replacement::ReplacementKind;

@@ -68,6 +68,11 @@ struct TelemetryInner {
     /// The most recently announced simulated cycle, used to stamp events
     /// emitted from call sites that have no clock of their own.
     now: Cell<u64>,
+    /// Whether [`Telemetry::emit`]/[`Telemetry::emit_at`] record anything.
+    /// Defaults to true; campaigns that only consume counters (sweeps, the
+    /// oracle, microbenchmarks) turn it off so instrumented hot paths skip
+    /// event construction entirely. Counters and histograms are unaffected.
+    trace_events: Cell<bool>,
 }
 
 /// The top-level telemetry handle.
@@ -104,6 +109,7 @@ impl Telemetry {
                 tracer: Tracer::with_capacity(capacity),
                 profiler: Profiler::new(),
                 now: Cell::new(0),
+                trace_events: Cell::new(true),
             })),
         }
     }
@@ -148,19 +154,43 @@ impl Telemetry {
         self.inner.as_ref().map_or(0, |i| i.now.get())
     }
 
-    /// Records `event` at the last announced cycle. No-op when disabled.
+    /// Whether trace-event emission is on (false when disabled). Hot paths
+    /// with many emit sites read this once and hoist the branch.
     #[inline]
-    pub fn emit(&self, event: TraceEvent) {
+    pub fn trace_events(&self) -> bool {
+        self.inner.as_ref().is_some_and(|i| i.trace_events.get())
+    }
+
+    /// Turns trace-event emission on or off. Off, [`Telemetry::emit`] and
+    /// [`Telemetry::emit_at`] become no-ops while counters, histograms,
+    /// gauges, and the profiler keep recording exactly — the switch for
+    /// counter-only campaigns that would otherwise churn the event ring.
+    /// No-op when disabled; emission defaults to on.
+    pub fn set_trace_events(&self, on: bool) {
         if let Some(inner) = &self.inner {
-            inner.tracer.record(inner.now.get(), event);
+            inner.trace_events.set(on);
         }
     }
 
-    /// Records `event` at an explicit cycle. No-op when disabled.
+    /// Records `event` at the last announced cycle. No-op when disabled or
+    /// when trace events are off ([`Telemetry::set_trace_events`]).
+    #[inline]
+    pub fn emit(&self, event: TraceEvent) {
+        if let Some(inner) = &self.inner {
+            if inner.trace_events.get() {
+                inner.tracer.record(inner.now.get(), event);
+            }
+        }
+    }
+
+    /// Records `event` at an explicit cycle. No-op when disabled or when
+    /// trace events are off ([`Telemetry::set_trace_events`]).
     #[inline]
     pub fn emit_at(&self, cycle: u64, event: TraceEvent) {
         if let Some(inner) = &self.inner {
-            inner.tracer.record(cycle, event);
+            if inner.trace_events.get() {
+                inner.tracer.record(cycle, event);
+            }
         }
     }
 
@@ -320,6 +350,45 @@ mod tests {
         on.registry().unwrap().counter("c_total", "c", &[]).inc();
         off.absorb(&on.snapshot()); // must not panic
         assert!(!off.is_enabled());
+    }
+
+    #[test]
+    fn trace_events_toggle_gates_emission_only() {
+        let t = Telemetry::enabled();
+        assert!(t.trace_events());
+        t.set_trace_events(false);
+        assert!(!t.trace_events());
+        t.set_now(3);
+        t.emit(TraceEvent::Probe {
+            attack: "x",
+            latency: 1,
+            hit: true,
+        });
+        t.emit_at(
+            9,
+            TraceEvent::Probe {
+                attack: "x",
+                latency: 1,
+                hit: true,
+            },
+        );
+        // Events suppressed; counters unaffected.
+        assert_eq!(t.tracer().unwrap().len(), 0);
+        t.registry().unwrap().counter("c_total", "c", &[]).inc();
+        assert_eq!(t.registry().unwrap().counter_value("c_total", &[]), Some(1));
+        t.set_trace_events(true);
+        t.emit(TraceEvent::Probe {
+            attack: "x",
+            latency: 1,
+            hit: true,
+        });
+        assert_eq!(t.tracer().unwrap().len(), 1);
+
+        // A disabled handle reports off and tolerates the setter.
+        let off = Telemetry::disabled();
+        assert!(!off.trace_events());
+        off.set_trace_events(true);
+        assert!(!off.trace_events());
     }
 
     #[test]

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Gate on BENCH_sweep.json per-access regressions.
+
+Compares the `per_access_ns` section of a freshly measured BENCH_sweep.json
+against the checked-in baseline and fails (exit 1) if any metric present in
+both files got slower by more than the allowed factor (default 1.30, i.e. a
+30% regression budget to absorb shared-runner noise). Metrics only present
+on one side are reported but never fail the check, so adding a new
+microbenchmark doesn't break CI on the transition commit.
+
+Usage:
+    tools/check_bench_regression.py BASELINE.json MEASURED.json [--max-ratio 1.30]
+"""
+
+import argparse
+import json
+import sys
+
+
+def per_access(path):
+    with open(path) as f:
+        doc = json.load(f)
+    section = doc.get("per_access_ns")
+    if not isinstance(section, dict) or not section:
+        sys.exit(f"{path}: no per_access_ns section")
+    return {k: float(v) for k, v in section.items()}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline", help="checked-in BENCH_sweep.json")
+    ap.add_argument("measured", help="freshly produced BENCH_sweep.json")
+    ap.add_argument(
+        "--max-ratio",
+        type=float,
+        default=1.30,
+        help="fail if measured/baseline exceeds this (default 1.30)",
+    )
+    args = ap.parse_args()
+
+    base = per_access(args.baseline)
+    new = per_access(args.measured)
+
+    failed = []
+    for key in sorted(base.keys() | new.keys()):
+        if key not in base:
+            print(f"  {key:<32} (new metric)       measured {new[key]:8.2f} ns")
+            continue
+        if key not in new:
+            print(f"  {key:<32} (dropped metric)   baseline {base[key]:8.2f} ns")
+            continue
+        ratio = new[key] / base[key] if base[key] > 0 else float("inf")
+        verdict = "OK" if ratio <= args.max_ratio else "REGRESSED"
+        print(
+            f"  {key:<32} baseline {base[key]:8.2f} ns   "
+            f"measured {new[key]:8.2f} ns   ratio {ratio:5.2f}x   {verdict}"
+        )
+        if ratio > args.max_ratio:
+            failed.append((key, ratio))
+
+    if failed:
+        names = ", ".join(f"{k} ({r:.2f}x)" for k, r in failed)
+        sys.exit(f"per_access_ns regression beyond {args.max_ratio:.2f}x: {names}")
+    print(f"all shared per_access_ns metrics within {args.max_ratio:.2f}x of baseline")
+
+
+if __name__ == "__main__":
+    main()
